@@ -1,0 +1,229 @@
+// Package main's root benchmarks regenerate each reconstructed experiment
+// (E1..E10, see DESIGN.md) under `go test -bench`. Reported custom metrics
+// carry each figure's headline quantity so a bench run doubles as a
+// regression check on the reproduction's shape:
+//
+//	go test -bench=. -benchmem
+//
+// Heavier cells keep their iteration work fixed per b.N loop so -benchtime
+// scales them naturally.
+package main
+
+import (
+	"testing"
+	"time"
+
+	"predstream/internal/experiments"
+)
+
+func benchAccuracy(b *testing.B, app experiments.AppProfile) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAccuracy(experiments.AccuracyConfig{
+			App: app, Steps: 300, Epochs: 25,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res.Results {
+			switch r.Model {
+			case "DRNN":
+				b.ReportMetric(r.Report.MAPE, "drnn-mape-%")
+			case "ARIMA":
+				b.ReportMetric(r.Report.MAPE, "arima-mape-%")
+			case "SVR":
+				b.ReportMetric(r.Report.MAPE, "svr-mape-%")
+			}
+		}
+		if res.Best() != "DRNN" {
+			b.Logf("note: best model this run was %s", res.Best())
+		}
+	}
+}
+
+// BenchmarkE1PredictionURLCount regenerates E1: DRNN vs ARIMA vs SVR
+// accuracy on the Windowed URL Count profile.
+func BenchmarkE1PredictionURLCount(b *testing.B) {
+	benchAccuracy(b, experiments.AppURLCount)
+}
+
+// BenchmarkE2PredictionContQuery regenerates E2 on the Continuous Queries
+// profile.
+func BenchmarkE2PredictionContQuery(b *testing.B) {
+	benchAccuracy(b, experiments.AppContQuery)
+}
+
+// BenchmarkE3Overlay regenerates E3, the predicted-vs-actual trace of the
+// best model.
+func BenchmarkE3Overlay(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunOverlay(experiments.AccuracyConfig{Steps: 300, Epochs: 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Actual)), "held-out-windows")
+	}
+}
+
+// BenchmarkE4Ablation regenerates E4, the interference-feature and depth
+// ablation.
+func BenchmarkE4Ablation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblation(300, 40, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var with, without float64
+		for _, row := range res.Rows {
+			switch row.Name {
+			case "interference, 2 layers":
+				with = row.Report.RMSE
+			case "no interference, 2 layers":
+				without = row.Report.RMSE
+			}
+		}
+		if with > 0 {
+			b.ReportMetric(without/with, "interference-gain-x")
+		}
+	}
+}
+
+// BenchmarkE5DynamicGrouping regenerates E5, the split-ratio tracking
+// validation on the live engine.
+func BenchmarkE5DynamicGrouping(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunGrouping(experiments.GroupingConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MaxDeviation, "max-split-deviation")
+	}
+}
+
+// BenchmarkE6E7Reliability regenerates E6 (throughput) and E7 (latency)
+// under misbehaving workers, reporting each system's retained throughput
+// fraction with one fault.
+func BenchmarkE6E7Reliability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunReliability(experiments.ReliabilityConfig{
+			Misbehaving: []int{0, 1},
+			Warmup:      2 * time.Second,
+			Measure:     2 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Degradation("framework", 1), "framework-retained-x")
+		b.ReportMetric(res.Degradation("static", 1), "static-retained-x")
+		if fw, ok := res.Cell("framework", 1); ok {
+			b.ReportMetric(fw.AvgLatencyMs, "framework-latency-ms")
+		}
+		if st, ok := res.Cell("static", 1); ok {
+			b.ReportMetric(st.AvgLatencyMs, "static-latency-ms")
+		}
+	}
+}
+
+// BenchmarkE8Training regenerates E8, DRNN training convergence, reporting
+// the final-epoch loss.
+func BenchmarkE8Training(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunConvergence(experiments.AccuracyConfig{Steps: 300, Epochs: 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Losses[len(res.Losses)-1], "final-loss")
+		b.ReportMetric(float64(res.NumParams), "params")
+	}
+}
+
+// BenchmarkE9Sensitivity regenerates E9, the window/horizon sensitivity
+// grid, reporting the best cell's MAPE.
+func BenchmarkE9Sensitivity(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSensitivity(
+			experiments.AccuracyConfig{Steps: 250, Epochs: 12},
+			[]int{5, 10}, []int{1, 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		best := res.MAPE[0][0]
+		for _, row := range res.MAPE {
+			for _, v := range row {
+				if v < best {
+					best = v
+				}
+			}
+		}
+		b.ReportMetric(best, "best-mape-%")
+	}
+}
+
+// BenchmarkE10Reaction regenerates E10, the control-loop reaction trace,
+// reporting the bypass reaction time in control periods.
+func BenchmarkE10Reaction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunReaction(experiments.ReactionConfig{
+			Steps: 14, FaultAtStep: 6, ControlPeriod: 200 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.ReactionSteps), "reaction-periods")
+	}
+}
+
+// BenchmarkE10Recovery regenerates the E10 recovery variant, reporting the
+// probe-based re-admission time after the fault clears.
+func BenchmarkE10Recovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunReaction(experiments.ReactionConfig{
+			Steps: 20, FaultAtStep: 5, ClearAtStep: 11, ProbeRatio: 0.05,
+			ControlPeriod: 200 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.ReactionSteps), "reaction-periods")
+		b.ReportMetric(float64(res.ReadmitSteps), "readmit-periods")
+	}
+}
+
+// BenchmarkE12CrossTopologyInterference regenerates E12, reporting how
+// much a noisy-neighbour topology inflates the foreground's processing
+// time.
+func BenchmarkE12CrossTopologyInterference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunInterference(experiments.InterferenceConfig{
+			Windows: 12, Period: 200 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.BeforeMs > 0 {
+			b.ReportMetric(res.AfterMs/res.BeforeMs, "interference-x")
+		}
+	}
+}
+
+// BenchmarkE11PolicyAblation regenerates E11, the planner-policy ablation,
+// reporting retained throughput per policy with one misbehaving worker.
+func BenchmarkE11PolicyAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPolicyAblation(experiments.ReliabilityConfig{
+			Warmup:  2 * time.Second,
+			Measure: 2 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range res.Cells {
+			b.ReportMetric(c.Retained, c.Policy+"-retained-x")
+		}
+	}
+}

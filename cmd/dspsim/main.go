@@ -1,0 +1,170 @@
+// Command dspsim runs one of the evaluation applications on the simulated
+// cluster and prints live per-worker statistics, optionally with fault
+// injection and the predictive control loop enabled — a minimal
+// operational console for the engine.
+//
+// Examples:
+//
+//	dspsim -app urlcount -duration 10s
+//	dspsim -app urlcount -dynamic -control -fault-worker worker-1 -fault-at 4s -slowdown 8 -duration 15s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"predstream/internal/apps/contquery"
+	"predstream/internal/apps/urlcount"
+	"predstream/internal/console"
+	"predstream/internal/core"
+	"predstream/internal/dsps"
+	"predstream/internal/telemetry"
+	"predstream/internal/workload"
+)
+
+func main() {
+	app := flag.String("app", "urlcount", "application: urlcount or contquery")
+	duration := flag.Duration("duration", 10*time.Second, "run duration")
+	statsEvery := flag.Duration("stats", time.Second, "statistics print period")
+	nodes := flag.Int("nodes", 2, "simulated machines")
+	workers := flag.Int("workers", 4, "worker processes")
+	dynamic := flag.Bool("dynamic", false, "use dynamic grouping on the controllable edge")
+	control := flag.Bool("control", false, "run the predictive control loop (requires -dynamic)")
+	controlPeriod := flag.Duration("control-period", 500*time.Millisecond, "control loop period")
+	faultWorker := flag.String("fault-worker", "", "inject a fault into this worker")
+	faultAt := flag.Duration("fault-at", 0, "when to inject the fault")
+	slowdown := flag.Float64("slowdown", 8, "fault slowdown factor")
+	rate := flag.Float64("rate", 0, "spout rate in tuples/s (0 = unpaced)")
+	seed := flag.Int64("seed", 1, "random seed")
+	httpAddr := flag.String("http", "", "serve the JSON console on this address (e.g. :8080)")
+	flag.Parse()
+
+	var shape workload.RateShape
+	if *rate > 0 {
+		shape = workload.ConstantRate{TPS: *rate}
+	}
+	var topo *dsps.Topology
+	var dg *dsps.DynamicGrouping
+	var stage string
+	var err error
+	switch *app {
+	case "urlcount":
+		topo, _, dg, err = urlcount.Build(urlcount.Config{
+			Dynamic: *dynamic, Shape: shape, Seed: *seed,
+			ParseCost: 5 * time.Millisecond, CountCost: -1,
+		})
+		stage = "parse"
+	case "contquery":
+		topo, _, dg, err = contquery.Build(contquery.Config{
+			Dynamic: *dynamic, Shape: shape, Seed: *seed,
+			QueryCost: 5 * time.Millisecond,
+		})
+		stage = "query"
+	default:
+		err = fmt.Errorf("unknown app %q", *app)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	cluster := dsps.NewCluster(dsps.ClusterConfig{
+		Nodes: *nodes, Seed: *seed,
+		QueueSize: 64, MaxSpoutPending: 256, AckTimeout: 10 * time.Second,
+	})
+	if err := cluster.Submit(topo, dsps.SubmitConfig{Workers: *workers}); err != nil {
+		fatal(err)
+	}
+	defer cluster.Shutdown()
+	fmt.Printf("running %s on %d nodes / %d workers for %v (dynamic=%v control=%v)\n",
+		*app, *nodes, *workers, *duration, *dynamic, *control)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	var ctrl *core.Controller
+	if *control {
+		if !*dynamic {
+			fatal(fmt.Errorf("-control requires -dynamic"))
+		}
+		ctrl, err = core.NewController(cluster,
+			[]core.ControlTarget{{Component: stage, Grouping: dg}},
+			core.Config{Policy: core.PolicyBypass})
+		if err != nil {
+			fatal(err)
+		}
+		go func() {
+			if err := ctrl.Run(ctx, *controlPeriod); err != nil {
+				fmt.Fprintf(os.Stderr, "control loop: %v\n", err)
+			}
+		}()
+	}
+
+	sampler := telemetry.NewSamplerFiltered(0, stage)
+	if *httpAddr != "" {
+		srv, err := console.New(cluster, sampler, ctrl)
+		if err != nil {
+			fatal(err)
+		}
+		go func() {
+			fmt.Printf("console listening on %s (/healthz /snapshot /workers /control)\n", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, srv); err != nil {
+				fmt.Fprintf(os.Stderr, "console: %v\n", err)
+			}
+		}()
+	}
+	start := time.Now()
+	faulted := false
+	ticker := time.NewTicker(*statsEvery)
+	defer ticker.Stop()
+	prev := cluster.Snapshot()
+	sampler.Sample(prev)
+	for {
+		select {
+		case <-ctx.Done():
+			final := cluster.Snapshot()
+			fmt.Printf("\nfinal: acked=%d failed=%d inflight=%d\n",
+				final.TotalAcked(), final.TotalFailed(), cluster.InFlight())
+			return
+		case <-ticker.C:
+		}
+		if !faulted && *faultWorker != "" && time.Since(start) >= *faultAt {
+			if err := cluster.InjectFault(*faultWorker, dsps.Fault{Slowdown: *slowdown}); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("-- injected %.0fx slowdown on %s --\n", *slowdown, *faultWorker)
+			faulted = true
+		}
+		snap := cluster.Snapshot()
+		sampler.Sample(snap)
+		dt := snap.At.Sub(prev.At).Seconds()
+		acked := float64(snap.TotalAcked()-prev.TotalAcked()) / dt
+		failed := float64(snap.TotalFailed()-prev.TotalFailed()) / dt
+		prev = snap
+		fmt.Printf("[%5.1fs] acked/s=%7.0f failed/s=%5.0f inflight=%4d",
+			time.Since(start).Seconds(), acked, failed, cluster.InFlight())
+		ids := sampler.Workers()
+		sort.Strings(ids)
+		for _, id := range ids {
+			wins := sampler.Series(id)
+			if len(wins) == 0 {
+				continue
+			}
+			w := wins[len(wins)-1]
+			marker := ""
+			if w.Misbehaving {
+				marker = "!"
+			}
+			fmt.Printf("  %s%s=%.1fms", id, marker, w.AvgExecMs)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dspsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,152 @@
+// Quickstart: the smallest useful topology — a sentence spout, a splitter
+// bolt, and a word-count bolt with fields grouping — run on the simulated
+// cluster for a moment, then the counts are printed.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"predstream/internal/dsps"
+)
+
+// sentenceSpout cycles through a fixed set of sentences.
+type sentenceSpout struct {
+	dsps.BaseSpout
+	collector dsps.SpoutCollector
+	sentences []string
+	next      int
+	limit     int
+}
+
+func (s *sentenceSpout) Open(_ dsps.TopologyContext, c dsps.SpoutCollector) { s.collector = c }
+
+func (s *sentenceSpout) NextTuple() bool {
+	if s.next >= s.limit {
+		return false
+	}
+	s.collector.Emit(dsps.Values{s.sentences[s.next%len(s.sentences)]}, s.next)
+	s.next++
+	return true
+}
+
+// splitBolt emits one tuple per word.
+type splitBolt struct {
+	dsps.BaseBolt
+	collector dsps.OutputCollector
+}
+
+func (b *splitBolt) Prepare(_ dsps.TopologyContext, c dsps.OutputCollector) { b.collector = c }
+
+func (b *splitBolt) Execute(t *dsps.Tuple) {
+	sentence, err := t.String("sentence")
+	if err != nil {
+		b.collector.Fail()
+		return
+	}
+	word := ""
+	for i := 0; i <= len(sentence); i++ {
+		if i == len(sentence) || sentence[i] == ' ' {
+			if word != "" {
+				b.collector.Emit(dsps.Values{word})
+			}
+			word = ""
+			continue
+		}
+		word += string(sentence[i])
+	}
+}
+
+// countBolt tallies words; fields grouping guarantees each word has one
+// owner task.
+type countBolt struct {
+	dsps.BaseBolt
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+func (b *countBolt) Prepare(dsps.TopologyContext, dsps.OutputCollector) {
+	b.counts = map[string]int{}
+}
+
+func (b *countBolt) Execute(t *dsps.Tuple) {
+	w, err := t.String("word")
+	if err != nil {
+		return
+	}
+	b.mu.Lock()
+	b.counts[w]++
+	b.mu.Unlock()
+}
+
+func main() {
+	var counters []*countBolt
+	var mu sync.Mutex
+
+	builder := dsps.NewTopologyBuilder("quickstart")
+	builder.SetSpout("sentences", func() dsps.Spout {
+		return &sentenceSpout{
+			sentences: []string{
+				"the quick brown fox",
+				"the lazy dog",
+				"the quick dog runs",
+			},
+			limit: 300,
+		}
+	}, 1, "sentence")
+	builder.SetBolt("split", func() dsps.Bolt { return &splitBolt{} }, 2, "word").
+		ShuffleGrouping("sentences")
+	builder.SetBolt("count", func() dsps.Bolt {
+		c := &countBolt{}
+		mu.Lock()
+		counters = append(counters, c)
+		mu.Unlock()
+		return c
+	}, 2).FieldsGrouping("split", "word")
+
+	topo, err := builder.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster := dsps.NewCluster(dsps.ClusterConfig{Nodes: 2, Delayer: dsps.NopDelayer{}})
+	if err := cluster.Submit(topo, dsps.SubmitConfig{}); err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Shutdown()
+	if !cluster.Drain(10 * time.Second) {
+		log.Fatal("topology did not drain")
+	}
+
+	merged := map[string]int{}
+	mu.Lock()
+	for _, c := range counters {
+		c.mu.Lock()
+		for w, n := range c.counts {
+			merged[w] += n
+		}
+		c.mu.Unlock()
+	}
+	mu.Unlock()
+	words := make([]string, 0, len(merged))
+	for w := range merged {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool {
+		if merged[words[i]] != merged[words[j]] {
+			return merged[words[i]] > merged[words[j]]
+		}
+		return words[i] < words[j]
+	})
+	snap := cluster.Snapshot()
+	fmt.Printf("processed %d sentences (%d spout roots acked, %d failed)\n",
+		300, snap.TotalAcked(), snap.TotalFailed())
+	fmt.Println("word counts:")
+	for _, w := range words {
+		fmt.Printf("  %-8s %d\n", w, merged[w])
+	}
+}

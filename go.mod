@@ -1,0 +1,3 @@
+module predstream
+
+go 1.22

@@ -1,0 +1,172 @@
+package arima
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"predstream/internal/timeseries"
+)
+
+// genSeasonalAR simulates x_t = phi·x_{t-s} + e_t.
+func genSeasonalAR(n, s int, phi, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		e := noise * rng.NormFloat64()
+		if i >= s {
+			xs[i] = phi*xs[i-s] + e
+		} else {
+			xs[i] = e
+		}
+	}
+	return xs
+}
+
+// genSeasonalPattern simulates a deterministic seasonal pattern plus
+// AR(1) noise.
+func genSeasonalPattern(n, s int, amp, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ar := 0.0
+	for i := 0; i < n; i++ {
+		ar = 0.5*ar + noise*rng.NormFloat64()
+		xs[i] = amp*math.Sin(2*math.Pi*float64(i)/float64(s)) + ar
+	}
+	return xs
+}
+
+func TestNewSeasonalPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewSeasonal(-1, 0, 0, 1, 0, 4) },
+		func() { NewSeasonal(0, 0, 0, 1, 0, 1) }, // seasonal with period 1
+		func() { NewSeasonal(0, 0, 0, 0, 0, 4) }, // no terms at all
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSeasonalDiffRoundTripLengths(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	d1, err := seasonalDiff(xs, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1) != 4 {
+		t.Fatalf("len = %d", len(d1))
+	}
+	// x_{t} - x_{t-4}: 5-1=4, 6-2=4, ...
+	for _, v := range d1 {
+		if v != 4 {
+			t.Fatalf("diff = %v", d1)
+		}
+	}
+	if _, err := seasonalDiff([]float64{1, 2}, 4, 1); err == nil {
+		t.Fatal("short series accepted")
+	}
+}
+
+func TestSeasonalFitRecoversSeasonalCoefficient(t *testing.T) {
+	const s = 6
+	xs := genSeasonalAR(3000, s, 0.8, 1.0, 1)
+	m := NewSeasonal(0, 0, 0, 1, 0, s)
+	if err := m.Fit(timeseries.FromTargets(xs)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, sphi, _ := m.Coefficients()
+	if math.Abs(sphi[0]-0.8) > 0.08 {
+		t.Fatalf("seasonal phi = %v want ≈0.8", sphi[0])
+	}
+}
+
+func TestSeasonalBeatsPlainARIMAOnPeriodicSeries(t *testing.T) {
+	const s = 12
+	xs := genSeasonalPattern(600, s, 10, 0.5, 2)
+	series := timeseries.FromTargets(xs)
+	sarima := NewSeasonal(1, 0, 0, 2, 0, s)
+	plain := New(2, 0, 1)
+	resS, err := timeseries.WalkForward(sarima, series, 480, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resP, err := timeseries.WalkForward(plain, series, 480, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resS.Report.RMSE >= resP.Report.RMSE {
+		t.Fatalf("SARIMA RMSE %v did not beat plain ARIMA %v on seasonal series",
+			resS.Report.RMSE, resP.Report.RMSE)
+	}
+}
+
+func TestSeasonalDifferencingHandlesSeasonalTrend(t *testing.T) {
+	// Pure seasonal random walk: x_t = x_{t-s} + e. DS=1 makes it
+	// stationary; forecasts should track the seasonal level.
+	const s = 5
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 400)
+	for i := range xs {
+		if i >= s {
+			xs[i] = xs[i-s] + 0.1*rng.NormFloat64()
+		} else {
+			xs[i] = float64(i * 10)
+		}
+	}
+	m := NewSeasonal(1, 0, 0, 0, 1, s)
+	if err := m.Fit(timeseries.FromTargets(xs[:350])); err != nil {
+		t.Fatal(err)
+	}
+	fc, err := m.Forecast(xs[:350], s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < s; h++ {
+		want := xs[350+h-s] // seasonal persistence
+		if math.Abs(fc[h]-want) > 2 {
+			t.Fatalf("h=%d forecast %v want ≈%v", h+1, fc[h], want)
+		}
+	}
+}
+
+func TestSeasonalForecastErrors(t *testing.T) {
+	m := NewSeasonal(1, 0, 0, 1, 0, 4)
+	if _, err := m.Forecast(make([]float64, 50), 1); err != timeseries.ErrNotFitted {
+		t.Fatalf("want ErrNotFitted, got %v", err)
+	}
+	xs := genSeasonalAR(300, 4, 0.5, 1, 4)
+	if err := m.Fit(timeseries.FromTargets(xs)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Forecast(xs, 0); err == nil {
+		t.Fatal("steps=0 accepted")
+	}
+	if _, err := m.Forecast(xs[:3], 1); err != timeseries.ErrShortContext {
+		t.Fatalf("want ErrShortContext, got %v", err)
+	}
+}
+
+func TestSeasonalMinContext(t *testing.T) {
+	m := NewSeasonal(2, 1, 1, 2, 1, 6)
+	// d + DS·s + max(p, PS·s, q) + 1 = 1 + 6 + 12 + 1 = 20.
+	if got := m.MinContext(); got != 20 {
+		t.Fatalf("MinContext = %d want 20", got)
+	}
+	if m.Name() != "SARIMA" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestSeasonalFitRejectsShortSeries(t *testing.T) {
+	m := NewSeasonal(1, 0, 1, 1, 0, 10)
+	if err := m.Fit(timeseries.FromTargets(make([]float64, 20))); err == nil {
+		t.Fatal("short series accepted")
+	}
+}

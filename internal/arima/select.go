@@ -1,0 +1,72 @@
+package arima
+
+import (
+	"fmt"
+	"math"
+
+	"predstream/internal/timeseries"
+)
+
+// SelectOrder fits every (p,d,q) combination with p ≤ maxP, d ≤ maxD,
+// q ≤ maxQ (skipping p=q=0) and returns the model minimizing AIC computed
+// from in-sample one-step residuals. It is the small grid search the
+// baselines use instead of auto-arima.
+func SelectOrder(train *timeseries.Series, maxP, maxD, maxQ int) (*Model, error) {
+	if maxP < 0 || maxD < 0 || maxQ < 0 {
+		return nil, fmt.Errorf("arima: negative max order")
+	}
+	var best *Model
+	bestAIC := math.Inf(1)
+	for d := 0; d <= maxD; d++ {
+		for p := 0; p <= maxP; p++ {
+			for q := 0; q <= maxQ; q++ {
+				if p == 0 && q == 0 {
+					continue
+				}
+				m := New(p, d, q)
+				if err := m.Fit(train); err != nil {
+					continue
+				}
+				aic, err := m.aic(train)
+				if err != nil {
+					continue
+				}
+				if aic < bestAIC {
+					bestAIC = aic
+					best = m
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("arima: no order fit the series")
+	}
+	return best, nil
+}
+
+// aic computes Akaike's information criterion from in-sample one-step
+// forecasts over the training series.
+func (m *Model) aic(train *timeseries.Series) (float64, error) {
+	targets := train.Targets()
+	start := m.MinContext()
+	n := 0
+	var sse float64
+	for i := start; i < len(targets); i++ {
+		fc, err := m.Forecast(targets[:i], 1)
+		if err != nil {
+			return 0, err
+		}
+		resid := targets[i] - fc[0]
+		sse += resid * resid
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("arima: series too short for AIC")
+	}
+	k := float64(1 + m.P + m.Q)
+	sigma2 := sse / float64(n)
+	if sigma2 <= 0 {
+		sigma2 = 1e-12
+	}
+	return float64(n)*math.Log(sigma2) + 2*k, nil
+}

@@ -1,0 +1,222 @@
+package console
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"predstream/internal/core"
+	"predstream/internal/dsps"
+	"predstream/internal/telemetry"
+)
+
+// startTopology spins up a small live topology for console tests.
+func startTopology(t *testing.T) (*dsps.Cluster, *dsps.DynamicGrouping, func()) {
+	t.Helper()
+	emitted := 0
+	var col dsps.SpoutCollector
+	b := dsps.NewTopologyBuilder("console")
+	b.SetSpout("src", func() dsps.Spout {
+		return &dsps.SpoutFunc{
+			OpenFn: func(_ dsps.TopologyContext, c dsps.SpoutCollector) { col = c },
+			NextFn: func() bool {
+				if emitted >= 500 {
+					return false
+				}
+				col.Emit(dsps.Values{emitted}, emitted)
+				emitted++
+				return true
+			},
+		}
+	}, 1, "n")
+	dg := b.SetBolt("work", func() dsps.Bolt { return &dsps.BoltFunc{} }, 2).DynamicGrouping("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dsps.NewCluster(dsps.ClusterConfig{Nodes: 1, Delayer: dsps.NopDelayer{}, Seed: 4})
+	if err := c.Submit(topo, dsps.SubmitConfig{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	return c, dg, c.Shutdown
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil, nil); err == nil {
+		t.Fatal("nil cluster accepted")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	cluster, _, shutdown := startTopology(t)
+	defer shutdown()
+	srv, err := New(cluster, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" {
+		t.Fatalf("body = %v", body)
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	cluster, _, shutdown := startTopology(t)
+	defer shutdown()
+	cluster.Drain(5 * time.Second)
+	srv, _ := New(cluster, nil, nil)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Tasks []struct {
+			Component string `json:"component"`
+			Executed  int64  `json:"executed"`
+		} `json:"tasks"`
+		Workers []struct {
+			WorkerID string `json:"worker_id"`
+		} `json:"workers"`
+		Nodes []struct {
+			NodeID string `json:"node_id"`
+		} `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Tasks) != 3 || len(snap.Workers) != 2 || len(snap.Nodes) != 1 {
+		t.Fatalf("shape: %d tasks, %d workers, %d nodes", len(snap.Tasks), len(snap.Workers), len(snap.Nodes))
+	}
+	var workExec int64
+	for _, task := range snap.Tasks {
+		if task.Component == "work" {
+			workExec += task.Executed
+		}
+	}
+	if workExec != 500 {
+		t.Fatalf("work executed %d, want 500", workExec)
+	}
+}
+
+func TestWorkersEndpoint(t *testing.T) {
+	cluster, _, shutdown := startTopology(t)
+	defer shutdown()
+	sampler := telemetry.NewSampler(0)
+	sampler.Sample(cluster.Snapshot())
+	time.Sleep(20 * time.Millisecond)
+	cluster.Drain(5 * time.Second)
+	sampler.Sample(cluster.Snapshot())
+
+	srv, _ := New(cluster, sampler, nil)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var latest map[string]telemetry.WindowStats
+	if err := json.NewDecoder(resp.Body).Decode(&latest); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(latest) == 0 {
+		t.Fatal("no workers reported")
+	}
+	for id := range latest {
+		one, err := http.Get(ts.URL + "/workers?id=" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var series []telemetry.WindowStats
+		if err := json.NewDecoder(one.Body).Decode(&series); err != nil {
+			t.Fatal(err)
+		}
+		one.Body.Close()
+		if len(series) == 0 {
+			t.Fatalf("worker %s has empty series", id)
+		}
+	}
+	missing, err := http.Get(ts.URL + "/workers?id=ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost worker status %d", missing.StatusCode)
+	}
+}
+
+func TestWorkersWithoutSampler(t *testing.T) {
+	cluster, _, shutdown := startTopology(t)
+	defer shutdown()
+	srv, _ := New(cluster, nil, nil)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestControlEndpoint(t *testing.T) {
+	cluster, dg, shutdown := startTopology(t)
+	defer shutdown()
+	ctrl, err := core.NewController(cluster,
+		[]core.ControlTarget{{Component: "work", Grouping: dg}}, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Step(); err != nil {
+		t.Fatal(err)
+	}
+	srv, _ := New(cluster, nil, ctrl)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/control")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var history []core.StepReport
+	if err := json.NewDecoder(resp.Body).Decode(&history); err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != 1 {
+		t.Fatalf("history = %d entries", len(history))
+	}
+	// No controller attached → 404.
+	srv2, _ := New(cluster, nil, nil)
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	r2, err := http.Get(ts2.URL + "/control")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", r2.StatusCode)
+	}
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"predstream/internal/dsps"
+	"predstream/internal/stats"
+	"predstream/internal/telemetry"
+	"predstream/internal/timeseries"
+)
+
+// DetectBasis selects which per-worker value drives detection and
+// planning.
+type DetectBasis int
+
+const (
+	// BasisMax uses max(predicted, observed): proactive on model
+	// forecasts, but still reactive when an observation falls outside the
+	// model's envelope (a trained regressor cannot extrapolate to a
+	// fault regime it never saw — its scaled inputs saturate — so acting
+	// on predictions alone would be blind to sudden faults). Default.
+	BasisMax DetectBasis = iota
+	// BasisPredicted uses the model forecast only.
+	BasisPredicted
+	// BasisObserved uses the last observation only (purely reactive).
+	BasisObserved
+)
+
+// String implements fmt.Stringer.
+func (b DetectBasis) String() string {
+	switch b {
+	case BasisMax:
+		return "max"
+	case BasisPredicted:
+		return "predicted"
+	case BasisObserved:
+		return "observed"
+	default:
+		return fmt.Sprintf("DetectBasis(%d)", int(b))
+	}
+}
+
+// ControlTarget names one dynamic-grouping edge under control: tuples
+// flowing into Component are re-split via Grouping.
+type ControlTarget struct {
+	// Component is the downstream component whose input split is
+	// controlled.
+	Component string
+	// Grouping is the handle returned by BoltDeclarer.DynamicGrouping.
+	Grouping *dsps.DynamicGrouping
+}
+
+// Config parameterizes the controller. Zero fields take the noted
+// defaults.
+type Config struct {
+	// Metric is what the predictors forecast; default TargetProcTime.
+	Metric telemetry.TargetMetric
+	// Features selects predictor inputs; default includes interference.
+	Features *telemetry.FeatureConfig
+	// NewPredictor builds one predictor per worker. Required for
+	// prediction; when nil the controller runs reactively on the last
+	// observation.
+	NewPredictor func() timeseries.Predictor
+	// MinHistory is the number of windows required before predictors are
+	// fitted; default 30.
+	MinHistory int
+	// Detector flags misbehaving workers; default RelativeDetector{2}.
+	Detector Detector
+	// Policy converts predictions into ratios; default PolicyBypass.
+	Policy PlanPolicy
+	// ProbeRatio reserves this share of the stream for each bypassed
+	// task so the controller keeps observing it and can re-admit a
+	// recovered worker; 0 (default) bypasses hard.
+	ProbeRatio float64
+	// Basis selects what drives detection and planning; default BasisMax.
+	Basis DetectBasis
+	// StallQueueMin and StallRateFrac gate the stall-detection channel: a
+	// worker is also flagged misbehaving when it has a backlog above
+	// StallQueueMin yet an execute rate below StallRateFrac × the median
+	// rate. This catches *stalled* workers, which execute nothing and
+	// therefore look healthy to every time-based signal (there are no
+	// observations to carry), and stays meaningful even when backpressure
+	// saturates every queue. Defaults 16 and 0.1; StallQueueMin < 0
+	// disables the channel.
+	StallQueueMin float64
+	StallRateFrac float64
+	// HistoryLimit bounds retained windows per worker; default 10000.
+	HistoryLimit int
+	// Components restricts which components' tasks contribute to worker
+	// statistics; default: the controlled components (the stages being
+	// steered), so unrelated co-hosted tasks don't dilute the prediction
+	// signal. Pass ["*"] to sample every component.
+	Components []string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Features == nil {
+		c.Features = &telemetry.FeatureConfig{Interference: true}
+	}
+	if c.MinHistory <= 0 {
+		c.MinHistory = 30
+	}
+	if c.Detector == nil {
+		c.Detector = &RelativeDetector{Factor: 2}
+	}
+	if c.HistoryLimit <= 0 {
+		c.HistoryLimit = 10000
+	}
+	if c.StallQueueMin == 0 {
+		c.StallQueueMin = 16
+	}
+	if c.StallRateFrac <= 0 {
+		c.StallRateFrac = 0.1
+	}
+	return c
+}
+
+// StepReport records what one control step observed and decided, the raw
+// material of experiment E10's reaction traces.
+type StepReport struct {
+	At time.Time
+	// Predicted holds the per-worker forecast of the control metric (or
+	// the last observation before predictors are fitted).
+	Predicted map[string]float64
+	// Observed holds the per-worker last-window observation.
+	Observed map[string]float64
+	// Misbehaving is the detector's verdict per worker.
+	Misbehaving map[string]bool
+	// Basis holds the per-worker value detection and planning actually
+	// used (see Config.Basis).
+	Basis map[string]float64
+	// Applied maps target component → the ratios actually set.
+	Applied map[string][]float64
+	// UsedModel reports whether fitted predictors (vs. reactive
+	// fallback) produced Predicted.
+	UsedModel bool
+}
+
+// Controller is the paper's control loop bound to one cluster.
+type Controller struct {
+	cfg     Config
+	cluster *dsps.Cluster
+	targets []ControlTarget
+
+	mu         sync.Mutex
+	sampler    *telemetry.Sampler
+	predictors map[string]timeseries.Predictor
+	fitted     bool
+	history    []StepReport
+}
+
+// NewController builds a controller for the given cluster and control
+// targets.
+func NewController(cluster *dsps.Cluster, targets []ControlTarget, cfg Config) (*Controller, error) {
+	if cluster == nil {
+		return nil, fmt.Errorf("core: nil cluster")
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("core: no control targets")
+	}
+	for i, t := range targets {
+		if t.Component == "" || t.Grouping == nil {
+			return nil, fmt.Errorf("core: target %d incomplete", i)
+		}
+	}
+	cfg = cfg.withDefaults()
+	components := cfg.Components
+	if len(components) == 0 {
+		for _, t := range targets {
+			components = append(components, t.Component)
+		}
+	} else if len(components) == 1 && components[0] == "*" {
+		components = nil
+	}
+	return &Controller{
+		cfg:        cfg,
+		cluster:    cluster,
+		targets:    targets,
+		sampler:    telemetry.NewSamplerFiltered(cfg.HistoryLimit, components...),
+		predictors: make(map[string]timeseries.Predictor),
+	}, nil
+}
+
+// Fitted reports whether per-worker predictors have been trained.
+func (c *Controller) Fitted() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fitted
+}
+
+// History returns a copy of all step reports so far.
+func (c *Controller) History() []StepReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]StepReport, len(c.history))
+	copy(out, c.history)
+	return out
+}
+
+// Sampler exposes the controller's window history (read-only use).
+func (c *Controller) Sampler() *telemetry.Sampler { return c.sampler }
+
+// FitPredictors trains one predictor per worker on the collected history.
+// It requires cfg.NewPredictor and at least MinHistory windows per worker.
+func (c *Controller) FitPredictors() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cfg.NewPredictor == nil {
+		return fmt.Errorf("core: no predictor factory configured")
+	}
+	workers := c.sampler.Workers()
+	if len(workers) == 0 {
+		return fmt.Errorf("core: no windows collected yet")
+	}
+	for _, id := range workers {
+		wins := c.sampler.Series(id)
+		if len(wins) < c.cfg.MinHistory {
+			return fmt.Errorf("core: worker %s has %d windows, need %d", id, len(wins), c.cfg.MinHistory)
+		}
+		series := telemetry.ToSeries(wins, c.cfg.Metric, *c.cfg.Features)
+		p := c.cfg.NewPredictor()
+		if err := p.Fit(series); err != nil {
+			return fmt.Errorf("core: fit %s for %s: %w", p.Name(), id, err)
+		}
+		c.predictors[id] = p
+	}
+	c.fitted = true
+	return nil
+}
+
+// Step runs one control iteration: sample → predict → detect → plan →
+// actuate, returning the report. Before predictors are fitted it falls
+// back to reacting to the last observation.
+func (c *Controller) Step() (StepReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := c.cluster.Snapshot()
+	c.sampler.Sample(snap)
+
+	report := StepReport{
+		At:          snap.At,
+		Predicted:   map[string]float64{},
+		Observed:    map[string]float64{},
+		Basis:       map[string]float64{},
+		Misbehaving: map[string]bool{},
+		Applied:     map[string][]float64{},
+	}
+	workers := c.sampler.Workers()
+	if len(workers) == 0 {
+		// First sample only establishes the baseline.
+		c.history = append(c.history, report)
+		return report, nil
+	}
+	for _, id := range workers {
+		wins := c.sampler.Series(id)
+		last := wins[len(wins)-1]
+		obs := telemetry.Target(last, c.cfg.Metric)
+		report.Observed[id] = obs
+		pred := obs
+		if c.fitted {
+			p := c.predictors[id]
+			series := telemetry.ToSeries(wins, c.cfg.Metric, *c.cfg.Features)
+			if series.Len() >= p.MinContext() {
+				if v, err := p.Predict(series, 1); err == nil {
+					pred = v
+					report.UsedModel = true
+				}
+			}
+		}
+		report.Predicted[id] = pred
+		// The detector and planner treat the basis as time-like (higher =
+		// worse). Throughput is inverted into its time-like reciprocal so
+		// a slow worker (low throughput) reads as a high basis value.
+		toBasis := func(v float64) float64 {
+			if c.cfg.Metric == telemetry.TargetThroughput {
+				const floor = 1e-9
+				if v < floor {
+					v = floor
+				}
+				return 1 / v
+			}
+			return v
+		}
+		basis := toBasis(pred)
+		switch c.cfg.Basis {
+		case BasisObserved:
+			basis = toBasis(obs)
+		case BasisMax:
+			if b := toBasis(obs); b > basis {
+				basis = b
+			}
+		}
+		report.Basis[id] = basis
+	}
+	report.Misbehaving = c.cfg.Detector.Detect(report.Basis)
+	// Stall channel: a stalled worker executes nothing, so no time-based
+	// signal exists for it — a backlog with no throughput is the
+	// evidence.
+	if c.cfg.StallQueueMin > 0 {
+		type qr struct{ queue, rate float64 }
+		obs := map[string]qr{}
+		var rates []float64
+		for _, id := range workers {
+			wins := c.sampler.Series(id)
+			last := wins[len(wins)-1]
+			obs[id] = qr{queue: last.QueueLen, rate: last.ExecRate}
+			rates = append(rates, last.ExecRate)
+		}
+		medRate := stats.Median(rates)
+		for id, o := range obs {
+			if o.queue > c.cfg.StallQueueMin && o.rate <= c.cfg.StallRateFrac*medRate {
+				report.Misbehaving[id] = true
+			}
+		}
+	}
+
+	for _, target := range c.targets {
+		taskWorkers := taskWorkersOf(snap, target.Component)
+		if len(taskWorkers) == 0 {
+			continue
+		}
+		ratios, err := PlanRatios(c.cfg.Policy, taskWorkers, report.Basis, report.Misbehaving, c.cfg.ProbeRatio)
+		if err != nil {
+			return report, err
+		}
+		if err := target.Grouping.SetRatios(ratios); err != nil {
+			return report, fmt.Errorf("core: apply ratios to %s: %w", target.Component, err)
+		}
+		report.Applied[target.Component] = ratios
+	}
+	c.history = append(c.history, report)
+	return report, nil
+}
+
+// Run executes Step on the given period until ctx is cancelled, returning
+// the first error encountered (context cancellation is not an error).
+func (c *Controller) Run(ctx context.Context, period time.Duration) error {
+	if period <= 0 {
+		return fmt.Errorf("core: non-positive control period %v", period)
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+			if _, err := c.Step(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// taskWorkersOf returns the worker hosting each task of component, ordered
+// by task index — the order DynamicGrouping targets use.
+func taskWorkersOf(snap *dsps.Snapshot, component string) []string {
+	tasks := snap.ComponentTasks(component)
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].TaskIndex < tasks[j].TaskIndex })
+	out := make([]string, len(tasks))
+	for i, t := range tasks {
+		out[i] = t.WorkerID
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"fmt"
+
+	"predstream/internal/core"
+)
+
+// ExamplePlanRatios shows how predicted per-worker processing times become
+// split ratios: the misbehaving worker is bypassed and the healthy workers
+// split the stream inversely to their predicted times.
+func ExamplePlanRatios() {
+	taskWorkers := []string{"worker-1", "worker-2", "worker-3"}
+	predictedMs := map[string]float64{
+		"worker-1": 2.0,
+		"worker-2": 4.0,
+		"worker-3": 40.0, // slow
+	}
+	misbehaving := map[string]bool{"worker-3": true}
+
+	ratios, err := core.PlanRatios(core.PolicyBypass, taskWorkers, predictedMs, misbehaving, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i, w := range taskWorkers {
+		fmt.Printf("%s: %.3f\n", w, ratios[i])
+	}
+	// Output:
+	// worker-1: 0.667
+	// worker-2: 0.333
+	// worker-3: 0.000
+}
+
+// ExampleRelativeDetector shows the scale-free misbehaving-worker rule.
+func ExampleRelativeDetector() {
+	d, _ := core.NewRelativeDetector(2)
+	flags := d.Detect(map[string]float64{
+		"worker-1": 1.9,
+		"worker-2": 2.1,
+		"worker-3": 16.0,
+	})
+	fmt.Println(flags["worker-1"], flags["worker-2"], flags["worker-3"])
+	// Output: false false true
+}

@@ -1,0 +1,127 @@
+package core
+
+import "fmt"
+
+// PlanPolicy selects how predictions become split ratios.
+type PlanPolicy int
+
+const (
+	// PolicyBypass zeroes the share of misbehaving workers and splits the
+	// rest inversely to predicted processing time — the paper's
+	// redirect-around-misbehaving-workers behaviour.
+	PolicyBypass PlanPolicy = iota
+	// PolicyWeighted splits inversely to predicted processing time
+	// without hard bypassing.
+	PolicyWeighted
+	// PolicyUniform ignores predictions (the static baseline).
+	PolicyUniform
+)
+
+// String implements fmt.Stringer.
+func (p PlanPolicy) String() string {
+	switch p {
+	case PolicyBypass:
+		return "bypass"
+	case PolicyWeighted:
+		return "weighted"
+	case PolicyUniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("PlanPolicy(%d)", int(p))
+	}
+}
+
+// PlanRatios computes the split ratio for each downstream task given the
+// worker hosting each task, the predicted per-worker processing times, and
+// the misbehaving set. The result is normalized to sum to 1 and is safe to
+// pass to DynamicGrouping.SetRatios.
+//
+// probe, in [0, 0.2], reserves that fraction of the stream for each
+// bypassed task so the controller keeps observing it and can re-admit the
+// worker when it recovers; 0 bypasses hard.
+//
+// Degenerate cases fall back conservatively: unknown workers get the mean
+// prediction; if every task would be bypassed the split reverts to
+// weighted; if no predictions exist it reverts to uniform.
+func PlanRatios(policy PlanPolicy, taskWorkers []string, predicted map[string]float64, misbehaving map[string]bool, probe float64) ([]float64, error) {
+	n := len(taskWorkers)
+	if n == 0 {
+		return nil, fmt.Errorf("core: no downstream tasks to plan for")
+	}
+	if probe < 0 || probe > 0.2 {
+		return nil, fmt.Errorf("core: probe ratio %v out of [0, 0.2]", probe)
+	}
+	uniform := make([]float64, n)
+	for i := range uniform {
+		uniform[i] = 1 / float64(n)
+	}
+	if policy == PolicyUniform || len(predicted) == 0 {
+		return uniform, nil
+	}
+
+	var meanPred float64
+	for _, v := range predicted {
+		meanPred += v
+	}
+	meanPred /= float64(len(predicted))
+	if meanPred <= 0 {
+		return uniform, nil
+	}
+
+	weightOf := func(worker string, bypass bool) float64 {
+		p, ok := predicted[worker]
+		if !ok || p <= 0 {
+			p = meanPred
+		}
+		if bypass && misbehaving[worker] {
+			return 0
+		}
+		return 1 / p
+	}
+
+	compute := func(bypass bool) ([]float64, float64) {
+		out := make([]float64, n)
+		var sum float64
+		for i, w := range taskWorkers {
+			out[i] = weightOf(w, bypass)
+			sum += out[i]
+		}
+		return out, sum
+	}
+
+	bypassing := policy == PolicyBypass
+	ratios, sum := compute(bypassing)
+	if sum <= 0 {
+		// Every task bypassed: degrade to weighted so the stream keeps
+		// flowing.
+		ratios, sum = compute(false)
+		bypassing = false
+	}
+	if sum <= 0 {
+		return uniform, nil
+	}
+	for i := range ratios {
+		ratios[i] /= sum
+	}
+	if bypassing && probe > 0 {
+		// Reserve a probe share for each bypassed task, scaling the
+		// healthy shares down proportionally.
+		bypassed := 0
+		for i, w := range taskWorkers {
+			if ratios[i] == 0 && misbehaving[w] {
+				bypassed++
+			}
+		}
+		reserve := probe * float64(bypassed)
+		if bypassed > 0 && reserve < 1 {
+			for i, w := range taskWorkers {
+				if ratios[i] == 0 && misbehaving[w] {
+					ratios[i] = probe
+				} else {
+					ratios[i] *= 1 - reserve
+				}
+			}
+		}
+	}
+	return ratios, nil
+}

@@ -1,0 +1,132 @@
+package dsps
+
+import (
+	"sync"
+	"time"
+)
+
+// ackResult is delivered to the spout executor that emitted the root
+// tuple.
+type ackResult struct {
+	msgID    any
+	ok       bool // true = fully processed, false = failed/timed out
+	latency  time.Duration
+	spoutTID int
+}
+
+// acker implements Storm's XOR-tree acking: every emitted tuple edge has a
+// random 64-bit id; the tracked value of a root is the XOR of all edge ids
+// seen so far (each id appears once when created and once when acked, so
+// the value returns to zero exactly when the whole tree completed).
+type acker struct {
+	mu      sync.Mutex
+	pending map[uint64]*ackEntry
+	timeout time.Duration
+	now     func() time.Time
+
+	deliver func(ackResult) // routes results back to the owning spout executor
+}
+
+type ackEntry struct {
+	msgID    any
+	val      uint64
+	start    time.Time
+	spoutTID int
+	done     bool
+}
+
+func newAcker(timeout time.Duration, deliver func(ackResult)) *acker {
+	return &acker{
+		pending: make(map[uint64]*ackEntry),
+		timeout: timeout,
+		now:     time.Now,
+		deliver: deliver,
+	}
+}
+
+// register starts tracking a new root tuple: rootID keys the tree, edgeID
+// is the spout→first-bolt edge.
+func (a *acker) register(rootID, edgeID uint64, msgID any, spoutTID int) {
+	a.mu.Lock()
+	a.pending[rootID] = &ackEntry{
+		msgID:    msgID,
+		val:      edgeID,
+		start:    a.now(),
+		spoutTID: spoutTID,
+	}
+	a.mu.Unlock()
+}
+
+// transition records a bolt finishing one input edge and creating the
+// given output edges: the tracked value XORs the consumed edge and every
+// produced edge. A zero result completes the root.
+func (a *acker) transition(rootID, consumedEdge uint64, producedEdges []uint64) {
+	a.mu.Lock()
+	e, ok := a.pending[rootID]
+	if !ok || e.done {
+		a.mu.Unlock()
+		return
+	}
+	e.val ^= consumedEdge
+	for _, p := range producedEdges {
+		e.val ^= p
+	}
+	if e.val == 0 {
+		e.done = true
+		delete(a.pending, rootID)
+		res := ackResult{msgID: e.msgID, ok: true, latency: a.now().Sub(e.start), spoutTID: e.spoutTID}
+		a.mu.Unlock()
+		a.deliver(res)
+		return
+	}
+	a.mu.Unlock()
+}
+
+// fail fails a root immediately (a bolt called Fail on a descendant).
+func (a *acker) fail(rootID uint64) {
+	a.mu.Lock()
+	e, ok := a.pending[rootID]
+	if !ok || e.done {
+		a.mu.Unlock()
+		return
+	}
+	e.done = true
+	delete(a.pending, rootID)
+	res := ackResult{msgID: e.msgID, ok: false, latency: a.now().Sub(e.start), spoutTID: e.spoutTID}
+	a.mu.Unlock()
+	a.deliver(res)
+}
+
+// sweep fails every root older than the timeout and returns how many it
+// failed. The cluster calls it periodically.
+func (a *acker) sweep() int {
+	if a.timeout <= 0 {
+		return 0
+	}
+	cutoff := a.now().Add(-a.timeout)
+	var expired []ackResult
+	a.mu.Lock()
+	for id, e := range a.pending {
+		if e.start.Before(cutoff) {
+			e.done = true
+			delete(a.pending, id)
+			expired = append(expired, ackResult{
+				msgID: e.msgID, ok: false,
+				latency:  a.now().Sub(e.start),
+				spoutTID: e.spoutTID,
+			})
+		}
+	}
+	a.mu.Unlock()
+	for _, r := range expired {
+		a.deliver(r)
+	}
+	return len(expired)
+}
+
+// inFlight returns the number of incomplete tracked roots.
+func (a *acker) inFlight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pending)
+}

@@ -1,0 +1,157 @@
+package dsps
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectAcks builds an acker whose results land in a slice.
+func collectAcks(timeout time.Duration) (*acker, *[]ackResult, *sync.Mutex) {
+	var mu sync.Mutex
+	var got []ackResult
+	a := newAcker(timeout, func(r ackResult) {
+		mu.Lock()
+		got = append(got, r)
+		mu.Unlock()
+	})
+	return a, &got, &mu
+}
+
+func TestAckerLinearChainCompletes(t *testing.T) {
+	a, got, mu := collectAcks(time.Minute)
+	// Spout emits edge e1; bolt A consumes e1 and produces e2; bolt B
+	// consumes e2 and produces nothing.
+	const root, e1, e2 = 100, 11, 22
+	a.register(root, e1, "m1", 0)
+	a.transition(root, e1, []uint64{e2})
+	mu.Lock()
+	n := len(*got)
+	mu.Unlock()
+	if n != 0 {
+		t.Fatal("completed before leaf acked")
+	}
+	a.transition(root, e2, nil)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*got) != 1 || !(*got)[0].ok || (*got)[0].msgID != "m1" {
+		t.Fatalf("results = %+v", *got)
+	}
+	if a.inFlight() != 0 {
+		t.Fatal("entry not removed after completion")
+	}
+}
+
+func TestAckerOutOfOrderTransitions(t *testing.T) {
+	// The XOR tree is order-independent: the downstream ack may arrive
+	// before the upstream transition that created its edge.
+	a, got, mu := collectAcks(time.Minute)
+	const root, e1, e2 = 200, 31, 32
+	a.register(root, e1, "m", 0)
+	a.transition(root, e2, nil)          // leaf acks first
+	a.transition(root, e1, []uint64{e2}) // then the producer
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*got) != 1 || !(*got)[0].ok {
+		t.Fatalf("results = %+v", *got)
+	}
+}
+
+func TestAckerFanOutTree(t *testing.T) {
+	a, got, mu := collectAcks(time.Minute)
+	// Spout emits two copies (e1, e2); each bolt copy emits two more.
+	const root = 300
+	edges := []uint64{1, 2, 3, 4, 5, 6}
+	a.register(root, edges[0]^edges[1], "m", 0)
+	a.transition(root, edges[0], []uint64{edges[2], edges[3]})
+	a.transition(root, edges[1], []uint64{edges[4], edges[5]})
+	for _, leaf := range edges[2:] {
+		mu.Lock()
+		if len(*got) != 0 {
+			mu.Unlock()
+			t.Fatal("completed early")
+		}
+		mu.Unlock()
+		a.transition(root, leaf, nil)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*got) != 1 || !(*got)[0].ok {
+		t.Fatalf("results = %+v", *got)
+	}
+}
+
+func TestAckerExplicitFail(t *testing.T) {
+	a, got, mu := collectAcks(time.Minute)
+	a.register(1, 5, "m", 3)
+	a.fail(1)
+	mu.Lock()
+	if len(*got) != 1 || (*got)[0].ok || (*got)[0].spoutTID != 3 {
+		mu.Unlock()
+		t.Fatalf("results = %+v", *got)
+	}
+	mu.Unlock()
+	// Late transitions for a failed root are ignored.
+	a.transition(1, 5, nil)
+	a.fail(1)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*got) != 1 {
+		t.Fatal("failed root delivered twice")
+	}
+}
+
+func TestAckerTimeoutSweep(t *testing.T) {
+	a, got, mu := collectAcks(10 * time.Millisecond)
+	a.register(1, 5, "old", 0)
+	time.Sleep(20 * time.Millisecond)
+	a.register(2, 6, "fresh", 0)
+	n := a.sweep()
+	if n != 1 {
+		t.Fatalf("sweep failed %d roots, want 1", n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*got) != 1 || (*got)[0].ok || (*got)[0].msgID != "old" {
+		t.Fatalf("results = %+v", *got)
+	}
+	if a.inFlight() != 1 {
+		t.Fatalf("inFlight = %d, want the fresh root", a.inFlight())
+	}
+}
+
+func TestAckerSweepDisabledWithoutTimeout(t *testing.T) {
+	a, _, _ := collectAcks(0)
+	a.register(1, 5, "m", 0)
+	if n := a.sweep(); n != 0 {
+		t.Fatalf("sweep with no timeout failed %d", n)
+	}
+}
+
+func TestAckerUnknownRootIgnored(t *testing.T) {
+	a, got, mu := collectAcks(time.Minute)
+	a.transition(999, 1, nil)
+	a.fail(999)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*got) != 0 {
+		t.Fatalf("unknown root produced results: %+v", *got)
+	}
+}
+
+func TestAckerLatencyMeasured(t *testing.T) {
+	a, got, mu := collectAcks(time.Minute)
+	base := time.Now()
+	step := 0
+	a.now = func() time.Time {
+		step++
+		return base.Add(time.Duration(step) * 10 * time.Millisecond)
+	}
+	a.register(1, 5, "m", 0) // now = +10ms
+	a.transition(1, 5, nil)  // now = +20ms
+	mu.Lock()
+	defer mu.Unlock()
+	if (*got)[0].latency != 10*time.Millisecond {
+		t.Fatalf("latency = %v", (*got)[0].latency)
+	}
+}

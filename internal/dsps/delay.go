@@ -1,0 +1,26 @@
+package dsps
+
+import "time"
+
+// Delayer models the passage of per-tuple service time. The real engine
+// sleeps; unit tests plug NopDelayer so routing and acking invariants run
+// at full speed while the simulated cost still lands in the metrics.
+type Delayer interface {
+	Delay(d time.Duration)
+}
+
+// RealDelayer passes service time with time.Sleep.
+type RealDelayer struct{}
+
+// Delay implements Delayer.
+func (RealDelayer) Delay(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// NopDelayer records no wall-clock time.
+type NopDelayer struct{}
+
+// Delay implements Delayer.
+func (NopDelayer) Delay(time.Duration) {}

@@ -1,0 +1,634 @@
+package dsps
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// envelope wraps a tuple in transit with its enqueue timestamp.
+type envelope struct {
+	tuple      *Tuple
+	enqueuedAt time.Time
+}
+
+// edge is one subscription: tuples from source fan out via grouping to the
+// ordered target tasks.
+type edge struct {
+	grouping Grouping
+	targets  []*task
+}
+
+// task is one executor: a single goroutine running one spout or bolt
+// instance.
+type task struct {
+	id           int
+	component    string
+	index        int
+	numTasks     int
+	worker       *workerProc
+	execCost     time.Duration
+	tickInterval time.Duration
+
+	spout Spout
+	bolt  Bolt
+
+	inCh  chan envelope  // bolts only
+	ackCh chan ackResult // spouts only
+	rng   *rand.Rand     // owned by the executor goroutine
+
+	counters taskCounters
+	pending  int // spout: un-acked roots; executor-goroutine-local
+}
+
+// runningTopology is the live runtime of a submitted topology.
+type runningTopology struct {
+	cluster *Cluster
+	topo    *Topology
+	cfg     ClusterConfig
+
+	workers []*workerProc
+	tasks   []*task
+	edges   map[string][]*edge // source component -> downstream edges
+	acker   *acker
+
+	ctx          context.Context
+	cancel       context.CancelFunc
+	wg           sync.WaitGroup
+	spoutsPaused atomic.Bool
+	rngMu        sync.Mutex
+	rng          *rand.Rand
+}
+
+// buildRuntime schedules the topology: workers round-robin over nodes,
+// executors round-robin over workers (spouts first, declaration order),
+// mirroring Storm's even scheduler.
+func (c *Cluster) buildRuntime(t *Topology, sc SubmitConfig) (*runningTopology, error) {
+	rt := &runningTopology{
+		cluster: c,
+		topo:    t,
+		cfg:     c.cfg,
+		edges:   make(map[string][]*edge),
+		rng:     rand.New(rand.NewSource(c.cfg.Seed)),
+	}
+	rt.ctx, rt.cancel = context.WithCancel(context.Background())
+	// Worker and task ids are cluster-global so concurrently running
+	// topologies never collide in the fault registry or snapshots.
+	for i := 0; i < sc.Workers; i++ {
+		n := c.nodes[c.nextWorker%len(c.nodes)]
+		w := &workerProc{id: fmt.Sprintf("worker-%d", c.nextWorker), node: n}
+		c.nextWorker++
+		rt.workers = append(rt.workers, w)
+	}
+	totalTasks := 0
+	for _, sd := range t.spouts {
+		totalTasks += sd.parallelism
+	}
+	for _, bd := range t.bolts {
+		totalTasks += bd.parallelism
+	}
+	placed := 0
+	blockSize := (totalTasks + len(rt.workers) - 1) / len(rt.workers)
+	place := func() *workerProc {
+		var idx int
+		if sc.Strategy == PlaceBlocked {
+			idx = placed / blockSize
+		} else {
+			idx = placed % len(rt.workers)
+		}
+		placed++
+		return rt.workers[idx%len(rt.workers)]
+	}
+	// Seed per-task rngs off the cluster-global task counter so
+	// concurrently running topologies draw distinct edge-id streams.
+	taskSeed := c.cfg.Seed + int64(c.nextTask)
+	for _, sd := range t.spouts {
+		for i := 0; i < sd.parallelism; i++ {
+			taskSeed++
+			tk := &task{
+				id:        c.nextTask,
+				component: sd.name,
+				index:     i,
+				numTasks:  sd.parallelism,
+				worker:    place(),
+				execCost:  sd.execCost,
+				spout:     sd.factory(),
+				ackCh:     make(chan ackResult, c.cfg.MaxSpoutPending),
+				rng:       rand.New(rand.NewSource(taskSeed)),
+			}
+			if tk.spout == nil {
+				rt.cancel()
+				return nil, fmt.Errorf("dsps: spout factory for %q returned nil", sd.name)
+			}
+			rt.tasks = append(rt.tasks, tk)
+			c.nextTask++
+		}
+	}
+	for _, bd := range t.bolts {
+		for i := 0; i < bd.parallelism; i++ {
+			taskSeed++
+			tk := &task{
+				id:           c.nextTask,
+				component:    bd.name,
+				index:        i,
+				numTasks:     bd.parallelism,
+				worker:       place(),
+				execCost:     bd.execCost,
+				tickInterval: bd.tickInterval,
+				bolt:         bd.factory(),
+				inCh:         make(chan envelope, c.cfg.QueueSize),
+				rng:          rand.New(rand.NewSource(taskSeed)),
+			}
+			if tk.bolt == nil {
+				rt.cancel()
+				return nil, fmt.Errorf("dsps: bolt factory for %q returned nil", bd.name)
+			}
+			rt.tasks = append(rt.tasks, tk)
+			c.nextTask++
+		}
+	}
+	// Wire subscriptions.
+	byComponent := map[string][]*task{}
+	for _, tk := range rt.tasks {
+		byComponent[tk.component] = append(byComponent[tk.component], tk)
+	}
+	for _, bd := range t.bolts {
+		for _, sub := range bd.subs {
+			rt.edges[sub.source] = append(rt.edges[sub.source], &edge{
+				grouping: sub.grouping,
+				targets:  byComponent[bd.name],
+			})
+		}
+	}
+	rt.acker = newAcker(c.cfg.AckTimeout, rt.deliverAck)
+	return rt, nil
+}
+
+// fieldsOf returns the declared output schema of a component.
+func (rt *runningTopology) fieldsOf(component string) []string {
+	for _, s := range rt.topo.spouts {
+		if s.name == component {
+			return s.fields
+		}
+	}
+	for _, b := range rt.topo.bolts {
+		if b.name == component {
+			return b.fields
+		}
+	}
+	return nil
+}
+
+func (rt *runningTopology) deliverAck(r ackResult) {
+	for _, tk := range rt.tasks {
+		if tk.id == r.spoutTID {
+			select {
+			case tk.ackCh <- r:
+			case <-rt.ctx.Done():
+			}
+			return
+		}
+	}
+}
+
+func (rt *runningTopology) start() {
+	for _, tk := range rt.tasks {
+		rt.wg.Add(1)
+		if tk.spout != nil {
+			go rt.runSpout(tk)
+		} else {
+			go rt.runBolt(tk)
+		}
+	}
+	// Ack-timeout sweeper.
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		period := rt.cfg.AckTimeout / 2
+		if period < 10*time.Millisecond {
+			period = 10 * time.Millisecond
+		}
+		ticker := time.NewTicker(period)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-rt.ctx.Done():
+				return
+			case <-ticker.C:
+				rt.acker.sweep()
+			}
+		}
+	}()
+}
+
+func (rt *runningTopology) stop() {
+	rt.spoutsPaused.Store(true)
+	rt.cancel()
+	rt.wg.Wait()
+	for _, tk := range rt.tasks {
+		if tk.spout != nil {
+			tk.spout.Close()
+		} else {
+			tk.bolt.Cleanup()
+		}
+	}
+}
+
+// progress returns a monotone counter of total work done, used by Drain to
+// detect stability.
+func (rt *runningTopology) progress() int64 {
+	var total int64
+	for _, tk := range rt.tasks {
+		total += tk.counters.executed.Load() +
+			tk.counters.emitted.Load() +
+			tk.counters.acked.Load() +
+			tk.counters.failed.Load() +
+			tk.counters.dropped.Load()
+	}
+	return total
+}
+
+// quiescent reports whether no tuples are queued or tracked in flight.
+func (rt *runningTopology) quiescent() bool {
+	if rt.acker.inFlight() > 0 {
+		return false
+	}
+	for _, tk := range rt.tasks {
+		if tk.inCh != nil && len(tk.inCh) > 0 {
+			return false
+		}
+		if tk.ackCh != nil && len(tk.ackCh) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// nextEdgeID draws a non-zero random edge id. Edge ids of zero would be
+// invisible to the XOR tree.
+func (tk *task) nextEdgeID() uint64 {
+	for {
+		if v := tk.rng.Uint64(); v != 0 {
+			return v
+		}
+	}
+}
+
+// --- Spout executor ---
+
+type spoutCollector struct {
+	rt *runningTopology
+	tk *task
+}
+
+// Emit implements SpoutCollector. Called only from the spout's executor
+// goroutine.
+func (sc *spoutCollector) Emit(values Values, msgID any) {
+	rt, tk := sc.rt, sc.tk
+	tpl := &Tuple{
+		Values:          values,
+		SourceComponent: tk.component,
+		SourceTask:      tk.id,
+		fields:          rt.fieldsOf(tk.component),
+	}
+	deliveries := rt.route(tk, tpl)
+	if msgID != nil {
+		rootID := tk.nextEdgeID()
+		var xor uint64
+		edgeIDs := make([]uint64, len(deliveries))
+		for i := range deliveries {
+			id := tk.nextEdgeID()
+			edgeIDs[i] = id
+			xor ^= id
+		}
+		if len(deliveries) == 0 {
+			// Nothing downstream: complete immediately.
+			tk.counters.acked.Add(1)
+			tk.spout.Ack(msgID)
+			tk.counters.emitted.Add(1)
+			return
+		}
+		rt.acker.register(rootID, xor, msgID, tk.id)
+		tk.pending++
+		for i, d := range deliveries {
+			cp := *tpl
+			cp.rootID = rootID
+			cp.edgeID = edgeIDs[i]
+			rt.send(d, &cp)
+		}
+	} else {
+		for _, d := range deliveries {
+			cp := *tpl
+			rt.send(d, &cp)
+		}
+	}
+	tk.counters.emitted.Add(1)
+	tk.counters.executed.Add(1)
+}
+
+func (rt *runningTopology) runSpout(tk *task) {
+	defer rt.wg.Done()
+	collector := &spoutCollector{rt: rt, tk: tk}
+	tk.spout.Open(rt.taskContext(tk), collector)
+	idleBackoff := 100 * time.Microsecond
+	for {
+		select {
+		case <-rt.ctx.Done():
+			return
+		default:
+		}
+		// Drain completed roots first.
+		drained := 0
+		for drained < 1024 {
+			select {
+			case r := <-tk.ackCh:
+				tk.pending--
+				if r.ok {
+					tk.counters.acked.Add(1)
+					tk.counters.completeNs.Add(int64(r.latency))
+					tk.counters.completeHist.observe(r.latency)
+					tk.spout.Ack(r.msgID)
+				} else {
+					tk.counters.failed.Add(1)
+					tk.spout.Fail(r.msgID)
+				}
+				drained++
+				continue
+			default:
+			}
+			break
+		}
+		if rt.spoutsPaused.Load() || tk.pending >= rt.cfg.MaxSpoutPending {
+			select {
+			case <-rt.ctx.Done():
+				return
+			case r := <-tk.ackCh:
+				tk.pending--
+				if r.ok {
+					tk.counters.acked.Add(1)
+					tk.counters.completeNs.Add(int64(r.latency))
+					tk.counters.completeHist.observe(r.latency)
+					tk.spout.Ack(r.msgID)
+				} else {
+					tk.counters.failed.Add(1)
+					tk.spout.Fail(r.msgID)
+				}
+			case <-time.After(time.Millisecond):
+			}
+			continue
+		}
+		if tk.spout.NextTuple() {
+			// Simulated emission-path cost (deserialization, I/O): the
+			// same interference and fault model as bolt execution.
+			if cost := tk.execCost; cost > 0 {
+				n := tk.worker.node
+				busy := n.busy.Add(1)
+				over := float64(busy) - float64(n.cores)
+				if over > 0 {
+					cost = time.Duration(float64(cost) * (1 + rt.cfg.InterferenceAlpha*over/float64(n.cores)))
+				}
+				if f, ok := rt.cluster.faults.get(tk.worker.id); ok && f.Slowdown > 1 {
+					cost = time.Duration(float64(cost) * f.Slowdown)
+				}
+				rt.cfg.Delayer.Delay(cost)
+				n.busy.Add(-1)
+				tk.counters.execNanos.Add(int64(cost))
+			}
+		} else {
+			select {
+			case <-rt.ctx.Done():
+				return
+			case <-time.After(idleBackoff):
+			}
+		}
+	}
+}
+
+// --- Bolt executor ---
+
+type boltCollector struct {
+	rt *runningTopology
+	tk *task
+
+	current  *Tuple
+	produced []uint64
+	failed   bool
+}
+
+// Emit implements OutputCollector. Called only from the bolt's executor
+// goroutine during Execute.
+func (bc *boltCollector) Emit(values Values) {
+	rt, tk := bc.rt, bc.tk
+	tpl := &Tuple{
+		Values:          values,
+		SourceComponent: tk.component,
+		SourceTask:      tk.id,
+		fields:          rt.fieldsOf(tk.component),
+	}
+	deliveries := rt.route(tk, tpl)
+	anchored := bc.current != nil && bc.current.rootID != 0
+	for _, d := range deliveries {
+		cp := *tpl
+		if anchored {
+			cp.rootID = bc.current.rootID
+			id := tk.nextEdgeID()
+			cp.edgeID = id
+			bc.produced = append(bc.produced, id)
+		}
+		rt.send(d, &cp)
+	}
+	tk.counters.emitted.Add(int64(1))
+}
+
+// Fail implements OutputCollector.
+func (bc *boltCollector) Fail() { bc.failed = true }
+
+func (rt *runningTopology) runBolt(tk *task) {
+	defer rt.wg.Done()
+	collector := &boltCollector{rt: rt, tk: tk}
+	tk.bolt.Prepare(rt.taskContext(tk), collector)
+	if tk.tickInterval > 0 {
+		rt.wg.Add(1)
+		go rt.runTicker(tk)
+	}
+	n := tk.worker.node
+	for {
+		select {
+		case <-rt.ctx.Done():
+			return
+		case env := <-tk.inCh:
+			if env.tuple.IsTick() {
+				// Ticks bypass the fault/cost/ack machinery: they exist
+				// only to advance bolt-internal time.
+				collector.current = env.tuple
+				collector.produced = collector.produced[:0]
+				collector.failed = false
+				tk.bolt.Execute(env.tuple)
+				collector.current = nil
+				continue
+			}
+			start := time.Now()
+			tk.counters.queueNanos.Add(int64(start.Sub(env.enqueuedAt)))
+
+			fault, faulty := rt.cluster.faults.get(tk.worker.id)
+			// A stalled worker hangs mid-processing until the fault
+			// clears or the topology shuts down; its queues back up and
+			// its roots time out, like a hung JVM.
+			for faulty && fault.Stall {
+				select {
+				case <-rt.ctx.Done():
+					return
+				case <-time.After(10 * time.Millisecond):
+				}
+				fault, faulty = rt.cluster.faults.get(tk.worker.id)
+			}
+			if faulty && fault.DropProb > 0 && tk.rng.Float64() < fault.DropProb {
+				tk.counters.dropped.Add(1)
+				continue // root will fail by ack timeout
+			}
+			if faulty && fault.FailProb > 0 && tk.rng.Float64() < fault.FailProb {
+				tk.counters.dropped.Add(1)
+				if env.tuple.rootID != 0 {
+					rt.acker.fail(env.tuple.rootID)
+				}
+				continue
+			}
+
+			// Interference model: service cost grows when the node is
+			// oversubscribed, and when the worker is slowed by a fault.
+			busy := n.busy.Add(1)
+			cost := tk.execCost
+			if cost > 0 {
+				over := float64(busy) - float64(n.cores)
+				if over > 0 {
+					cost = time.Duration(float64(cost) * (1 + rt.cfg.InterferenceAlpha*over/float64(n.cores)))
+				}
+				if faulty && fault.Slowdown > 1 {
+					cost = time.Duration(float64(cost) * fault.Slowdown)
+				}
+				rt.cfg.Delayer.Delay(cost)
+			}
+
+			collector.current = env.tuple
+			collector.produced = collector.produced[:0]
+			collector.failed = false
+			tk.bolt.Execute(env.tuple)
+			n.busy.Add(-1)
+			n.executed.Add(1)
+
+			tk.counters.executed.Add(1)
+			// Execute latency includes the simulated cost even under
+			// NopDelayer so metric series carry the interference signal.
+			elapsed := time.Since(start)
+			if elapsed < cost {
+				elapsed = cost
+			}
+			tk.counters.execNanos.Add(int64(elapsed))
+			tk.counters.execHist.observe(elapsed)
+
+			if env.tuple.rootID != 0 {
+				if collector.failed {
+					rt.acker.fail(env.tuple.rootID)
+				} else {
+					rt.acker.transition(env.tuple.rootID, env.tuple.edgeID, collector.produced)
+				}
+			}
+			collector.current = nil
+		}
+	}
+}
+
+// runTicker feeds tick tuples to a bolt task at its declared interval.
+// Sends are non-blocking: a saturated queue drops the tick rather than
+// adding backpressure (Storm's semantics — ticks are best-effort).
+func (rt *runningTopology) runTicker(tk *task) {
+	defer rt.wg.Done()
+	ticker := time.NewTicker(tk.tickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.ctx.Done():
+			return
+		case <-ticker.C:
+			select {
+			case tk.inCh <- envelope{tuple: &Tuple{SourceComponent: TickComponent}, enqueuedAt: time.Now()}:
+			default:
+			}
+		}
+	}
+}
+
+// --- Routing ---
+
+// delivery is one planned tuple hand-off: the selected target task plus
+// the edge it was selected on (needed to re-route on a blocked dynamic
+// edge).
+type delivery struct {
+	target *task
+	edge   *edge
+}
+
+// route computes the deliveries of a tuple emitted by tk.
+func (rt *runningTopology) route(tk *task, tpl *Tuple) []delivery {
+	var out []delivery
+	for _, e := range rt.edges[tk.component] {
+		for _, idx := range e.grouping.Select(tpl, len(e.targets)) {
+			if idx >= 0 && idx < len(e.targets) {
+				out = append(out, delivery{target: e.targets[idx], edge: e})
+			}
+		}
+	}
+	return out
+}
+
+// rerouteRetry is how long a blocked send waits before re-consulting a
+// dynamic grouping. Short enough that a controller bypass takes effect
+// within a control period; long enough to stay off the hot path.
+const rerouteRetry = 50 * time.Millisecond
+
+// send enqueues a tuple, blocking for backpressure but bailing out on
+// shutdown. When the delivery rides a *dynamic* edge and the target's
+// queue stays full, the grouping is re-consulted periodically: if the
+// controller has since steered traffic away from a misbehaving target,
+// the waiting tuple is re-directed instead of wedging its producer — the
+// paper's "re-direct data tuples to bypass misbehaving workers" applied
+// to in-flight emissions. Non-dynamic edges never re-route (fields
+// grouping correctness depends on stable key→task assignment).
+func (rt *runningTopology) send(d delivery, tpl *Tuple) {
+	env := envelope{tuple: tpl, enqueuedAt: time.Now()}
+	dg, dynamic := d.edge.grouping.(*DynamicGrouping)
+	if !dynamic {
+		select {
+		case d.target.inCh <- env:
+		case <-rt.ctx.Done():
+		}
+		return
+	}
+	for {
+		select {
+		case d.target.inCh <- env:
+			return
+		case <-rt.ctx.Done():
+			return
+		case <-time.After(rerouteRetry):
+			idxs := dg.Select(tpl, len(d.edge.targets))
+			if len(idxs) == 1 && idxs[0] >= 0 && idxs[0] < len(d.edge.targets) {
+				d.target = d.edge.targets[idxs[0]]
+			}
+		}
+	}
+}
+
+func (rt *runningTopology) taskContext(tk *task) TopologyContext {
+	return TopologyContext{
+		Component: tk.component,
+		TaskIndex: tk.index,
+		TaskID:    tk.id,
+		NumTasks:  tk.numTasks,
+		WorkerID:  tk.worker.id,
+		NodeID:    tk.worker.node.id,
+	}
+}

@@ -1,0 +1,75 @@
+package dsps
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Fault describes injected worker misbehaviour, the mechanism the
+// reliability experiments (E6/E7/E10) use exactly as the paper injects
+// misbehaving workers into its Storm cluster.
+type Fault struct {
+	// Slowdown multiplies the worker's simulated per-tuple service cost;
+	// 0 or 1 means no slowdown. The paper's misbehaving workers are slow
+	// workers, so this is the primary knob.
+	Slowdown float64
+	// DropProb is the probability a tuple handled by the worker is
+	// silently dropped (its root eventually fails by timeout).
+	DropProb float64
+	// FailProb is the probability the worker immediately fails the tuple
+	// (its root fails without waiting for the timeout).
+	FailProb float64
+	// Stall hangs the worker's executors completely: tuples stop being
+	// processed (queues back up, roots time out) until the fault is
+	// cleared — the crash/hang flavour of misbehaviour.
+	Stall bool
+}
+
+// valid reports whether the fault's fields are in range.
+func (f Fault) valid() error {
+	if math.IsNaN(f.Slowdown) || math.IsInf(f.Slowdown, 0) ||
+		f.Slowdown < 0 || (f.Slowdown > 0 && f.Slowdown < 1) {
+		return fmt.Errorf("dsps: fault slowdown %v must be 0 (none) or >= 1", f.Slowdown)
+	}
+	if f.DropProb < 0 || f.DropProb > 1 {
+		return fmt.Errorf("dsps: fault drop probability %v out of [0,1]", f.DropProb)
+	}
+	if f.FailProb < 0 || f.FailProb > 1 {
+		return fmt.Errorf("dsps: fault fail probability %v out of [0,1]", f.FailProb)
+	}
+	return nil
+}
+
+// faultRegistry holds active faults keyed by worker id.
+type faultRegistry struct {
+	mu     sync.RWMutex
+	faults map[string]Fault
+}
+
+func newFaultRegistry() *faultRegistry {
+	return &faultRegistry{faults: make(map[string]Fault)}
+}
+
+func (r *faultRegistry) set(workerID string, f Fault) error {
+	if err := f.valid(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.faults[workerID] = f
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *faultRegistry) clear(workerID string) {
+	r.mu.Lock()
+	delete(r.faults, workerID)
+	r.mu.Unlock()
+}
+
+func (r *faultRegistry) get(workerID string) (Fault, bool) {
+	r.mu.RLock()
+	f, ok := r.faults[workerID]
+	r.mu.RUnlock()
+	return f, ok
+}

@@ -1,0 +1,188 @@
+package dsps
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+)
+
+// Grouping decides which downstream task(s) of a subscription receive a
+// tuple. Select is called from the emitting executor's goroutine;
+// implementations must be safe for concurrent use because several upstream
+// tasks share one grouping instance per subscription edge.
+type Grouping interface {
+	// Select returns indices in [0, numTasks) of the receiving tasks.
+	Select(t *Tuple, numTasks int) []int
+	// Name identifies the grouping for diagnostics.
+	Name() string
+}
+
+// ShuffleGrouping distributes tuples round-robin across downstream tasks,
+// which is what Storm's shuffle grouping converges to and keeps unit tests
+// deterministic.
+type ShuffleGrouping struct {
+	mu   sync.Mutex
+	next int
+}
+
+// Name implements Grouping.
+func (g *ShuffleGrouping) Name() string { return "shuffle" }
+
+// Select implements Grouping.
+func (g *ShuffleGrouping) Select(_ *Tuple, numTasks int) []int {
+	g.mu.Lock()
+	idx := g.next % numTasks
+	g.next++
+	g.mu.Unlock()
+	return []int{idx}
+}
+
+// FieldsGrouping routes tuples with equal values in the selected fields to
+// the same downstream task (hash partitioning), as stateful bolts such as
+// counters require.
+type FieldsGrouping struct {
+	Fields []string
+}
+
+// Name implements Grouping.
+func (g *FieldsGrouping) Name() string { return "fields" }
+
+// Select implements Grouping.
+func (g *FieldsGrouping) Select(t *Tuple, numTasks int) []int {
+	h := fnv.New64a()
+	for _, f := range g.Fields {
+		v, err := t.GetValue(f)
+		if err != nil {
+			// A missing grouping field is a topology bug; route to task 0
+			// deterministically rather than crash the executor.
+			continue
+		}
+		fmt.Fprintf(h, "%v\x00", v)
+	}
+	return []int{int(h.Sum64() % uint64(numTasks))}
+}
+
+// GlobalGrouping routes every tuple to the lowest-indexed task.
+type GlobalGrouping struct{}
+
+// Name implements Grouping.
+func (GlobalGrouping) Name() string { return "global" }
+
+// Select implements Grouping.
+func (GlobalGrouping) Select(*Tuple, int) []int { return []int{0} }
+
+// AllGrouping replicates every tuple to every downstream task.
+type AllGrouping struct{}
+
+// Name implements Grouping.
+func (AllGrouping) Name() string { return "all" }
+
+// Select implements Grouping.
+func (AllGrouping) Select(_ *Tuple, numTasks int) []int {
+	out := make([]int, numTasks)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// DynamicGrouping is the paper's contribution: it distributes tuples
+// across downstream tasks according to an arbitrary split ratio that can
+// be changed on the fly, so the controller can steer traffic away from
+// misbehaving workers without restarting the topology.
+//
+// Tuples are assigned by smooth weighted round-robin rather than random
+// sampling, so the observed distribution tracks the requested ratio
+// exactly over any window of ~numTasks tuples — the property experiment E5
+// validates.
+type DynamicGrouping struct {
+	mu      sync.Mutex
+	ratios  []float64 // normalized; nil until first SetRatios or Select
+	current []float64 // smooth-WRR running credit
+	updates int
+}
+
+// Name implements Grouping.
+func (g *DynamicGrouping) Name() string { return "dynamic" }
+
+// SetRatios atomically replaces the split ratios. The slice must have one
+// non-negative entry per downstream task with a positive sum; it is
+// normalized internally. Task i receives fraction ratios[i]/sum of the
+// stream; a zero entry bypasses that task entirely.
+func (g *DynamicGrouping) SetRatios(ratios []float64) error {
+	if len(ratios) == 0 {
+		return fmt.Errorf("dsps: empty ratio vector")
+	}
+	var sum float64
+	for i, r := range ratios {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("dsps: ratio[%d]=%v is invalid", i, r)
+		}
+		sum += r
+	}
+	if sum <= 0 {
+		return fmt.Errorf("dsps: ratios sum to %v, need > 0", sum)
+	}
+	norm := make([]float64, len(ratios))
+	for i, r := range ratios {
+		norm[i] = r / sum
+	}
+	g.mu.Lock()
+	g.ratios = norm
+	g.current = make([]float64, len(norm))
+	g.updates++
+	g.mu.Unlock()
+	return nil
+}
+
+// Ratios returns the current normalized split ratios (nil if unset).
+func (g *DynamicGrouping) Ratios() []float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.ratios == nil {
+		return nil
+	}
+	out := make([]float64, len(g.ratios))
+	copy(out, g.ratios)
+	return out
+}
+
+// Updates returns how many times SetRatios has been applied.
+func (g *DynamicGrouping) Updates() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.updates
+}
+
+// Select implements Grouping via smooth weighted round-robin: each task
+// accumulates credit equal to its ratio per tuple; the task with the most
+// credit wins and pays back 1.
+func (g *DynamicGrouping) Select(_ *Tuple, numTasks int) []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.ratios) != numTasks {
+		// Unset or re-parallelized: fall back to a uniform split.
+		uniform := make([]float64, numTasks)
+		for i := range uniform {
+			uniform[i] = 1 / float64(numTasks)
+		}
+		g.ratios = uniform
+		g.current = make([]float64, numTasks)
+	}
+	best := -1
+	for i := range g.current {
+		g.current[i] += g.ratios[i]
+		if g.ratios[i] <= 0 {
+			continue
+		}
+		if best < 0 || g.current[i] > g.current[best] {
+			best = i
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	g.current[best]--
+	return []int{best}
+}

@@ -1,0 +1,159 @@
+package dsps
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistObserveBuckets(t *testing.T) {
+	var h latencyHist
+	h.observe(0)                    // bucket 0
+	h.observe(63 * time.Nanosecond) // bucket 0
+	h.observe(64 * time.Nanosecond) // bucket 1
+	h.observe(time.Millisecond)
+	h.observe(time.Hour) // clamps to last bucket
+	counts := h.snapshot()
+	if counts[0] != 2 {
+		t.Fatalf("bucket 0 = %d", counts[0])
+	}
+	if counts[1] != 1 {
+		t.Fatalf("bucket 1 = %d", counts[1])
+	}
+	if counts[histBuckets-1] != 1 {
+		t.Fatalf("overflow bucket = %d", counts[histBuckets-1])
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 5 {
+		t.Fatalf("total = %d", total)
+	}
+	h.observe(-time.Second) // negative clamps to 0
+	if h.snapshot()[0] != 3 {
+		t.Fatal("negative sample not clamped into bucket 0")
+	}
+}
+
+func TestHistogramQuantileBasics(t *testing.T) {
+	if got := HistogramQuantile(nil, 0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+	if got := HistogramQuantile([]int64{1}, 0); got != 0 {
+		t.Fatalf("q=0 = %v", got)
+	}
+	if got := HistogramQuantile([]int64{1}, 1.5); got != 0 {
+		t.Fatalf("q>1 = %v", got)
+	}
+	var h latencyHist
+	for i := 0; i < 1000; i++ {
+		h.observe(time.Millisecond)
+	}
+	p50 := HistogramQuantile(h.snapshot(), 0.5)
+	// 1ms falls in a bucket spanning [~0.52ms, ~1.05ms); the estimate must
+	// land within that factor-of-2 band.
+	if p50 < 500*time.Microsecond || p50 > 1100*time.Microsecond {
+		t.Fatalf("p50 of 1ms point mass = %v", p50)
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	var h latencyHist
+	for i := 0; i < 900; i++ {
+		h.observe(time.Millisecond)
+	}
+	for i := 0; i < 100; i++ {
+		h.observe(100 * time.Millisecond)
+	}
+	counts := h.snapshot()
+	p50 := HistogramQuantile(counts, 0.5)
+	p95 := HistogramQuantile(counts, 0.95)
+	p999 := HistogramQuantile(counts, 0.999)
+	if !(p50 < p95 && p95 <= p999) {
+		t.Fatalf("quantiles not monotone: %v %v %v", p50, p95, p999)
+	}
+	// The tail must reflect the slow mode.
+	if p999 < 50*time.Millisecond {
+		t.Fatalf("p99.9 = %v, want the 100ms mode", p999)
+	}
+	if p50 > 2*time.Millisecond {
+		t.Fatalf("p50 = %v, want the 1ms mode", p50)
+	}
+}
+
+func TestPropertyQuantileWithinBucketBounds(t *testing.T) {
+	// For any single-value histogram, every quantile lands within a
+	// factor of 2 of the observed value (bucket resolution).
+	f := func(usRaw uint32, qRaw uint8) bool {
+		us := int(usRaw%100000) + 1
+		d := time.Duration(us) * time.Microsecond
+		q := (float64(qRaw%99) + 1) / 100
+		var h latencyHist
+		for i := 0; i < 10; i++ {
+			h.observe(d)
+		}
+		got := HistogramQuantile(h.snapshot(), q)
+		return got <= 2*d && got*2 >= d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeHistograms(t *testing.T) {
+	var a, b latencyHist
+	a.observe(time.Millisecond)
+	b.observe(time.Millisecond)
+	b.observe(time.Second)
+	merged := MergeHistograms(a.snapshot(), b.snapshot())
+	var total int64
+	for _, c := range merged {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("merged total = %d", total)
+	}
+	if len(MergeHistograms()) != histBuckets {
+		t.Fatal("empty merge shape wrong")
+	}
+}
+
+func TestSnapshotCarriesHistograms(t *testing.T) {
+	spout := &countingSpout{limit: 100}
+	b := NewTopologyBuilder("hist")
+	b.SetSpout("src", func() Spout { return spout }, 1, "n")
+	b.SetBolt("sink", func() Bolt { return &sinkBolt{} }, 1).ShuffleGrouping("src")
+	topo, _ := b.Build()
+	c := testCluster()
+	if err := c.Submit(topo, SubmitConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if !c.Drain(5 * time.Second) {
+		t.Fatal("did not drain")
+	}
+	snap := c.Snapshot()
+	sink := snap.ComponentTasks("sink")[0]
+	var execSamples int64
+	for _, v := range sink.ExecHist {
+		execSamples += v
+	}
+	if execSamples != 100 {
+		t.Fatalf("exec histogram has %d samples, want 100", execSamples)
+	}
+	if sink.ExecQuantile(0.5) < 0 {
+		t.Fatal("negative quantile")
+	}
+	src := snap.ComponentTasks("src")[0]
+	var completeSamples int64
+	for _, v := range src.CompleteHist {
+		completeSamples += v
+	}
+	if completeSamples != 100 {
+		t.Fatalf("complete histogram has %d samples, want 100", completeSamples)
+	}
+	if q := snap.CompleteQuantile(0.99); q <= 0 {
+		t.Fatalf("cluster complete p99 = %v", q)
+	}
+}

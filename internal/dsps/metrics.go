@@ -1,0 +1,194 @@
+package dsps
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// taskCounters holds the per-task atomic counters the executor updates on
+// its hot path. Snapshots read them without stopping the world.
+type taskCounters struct {
+	executed   atomic.Int64 // tuples fully executed (bolts) or emitted batches (spouts)
+	emitted    atomic.Int64 // tuples emitted downstream
+	acked      atomic.Int64 // spout roots completed (spout tasks only)
+	failed     atomic.Int64 // spout roots failed (spout tasks only)
+	execNanos  atomic.Int64 // total execute latency incl. simulated cost
+	queueNanos atomic.Int64 // total time tuples spent queued before execute
+	completeNs atomic.Int64 // total complete latency of acked roots (spouts)
+	dropped    atomic.Int64 // tuples dropped by fault injection
+
+	execHist     latencyHist // per-tuple execute latency distribution
+	completeHist latencyHist // complete latency distribution (spouts)
+}
+
+// TaskStats is a point-in-time snapshot of one task's counters.
+type TaskStats struct {
+	TaskID int
+	// Topology names the owning topology (cluster-level snapshots span
+	// every running topology).
+	Topology  string
+	Component string
+	TaskIndex int
+	WorkerID  string
+	NodeID    string
+
+	Executed int64
+	Emitted  int64
+	Acked    int64
+	Failed   int64
+	Dropped  int64
+	// ExecLatency is the cumulative execute latency.
+	ExecLatency time.Duration
+	// QueueLatency is the cumulative time tuples waited in the input
+	// queue.
+	QueueLatency time.Duration
+	// CompleteLatency is the cumulative spout complete latency.
+	CompleteLatency time.Duration
+	// QueueLen is the instantaneous input queue length.
+	QueueLen int
+	// ExecHist and CompleteHist are the latency distributions in the
+	// engine's log-bucket layout (see HistogramQuantile / MergeHistograms).
+	ExecHist     []int64
+	CompleteHist []int64
+}
+
+// ExecQuantile estimates the q-quantile of per-tuple execute latency.
+func (s TaskStats) ExecQuantile(q float64) time.Duration {
+	return HistogramQuantile(s.ExecHist, q)
+}
+
+// CompleteQuantile estimates the q-quantile of complete latency (spout
+// tasks only).
+func (s TaskStats) CompleteQuantile(q float64) time.Duration {
+	return HistogramQuantile(s.CompleteHist, q)
+}
+
+// AvgExecLatency returns the mean execute latency, or 0 with no samples.
+func (s TaskStats) AvgExecLatency() time.Duration {
+	if s.Executed == 0 {
+		return 0
+	}
+	return s.ExecLatency / time.Duration(s.Executed)
+}
+
+// AvgCompleteLatency returns the mean complete latency of acked roots.
+func (s TaskStats) AvgCompleteLatency() time.Duration {
+	if s.Acked == 0 {
+		return 0
+	}
+	return s.CompleteLatency / time.Duration(s.Acked)
+}
+
+// WorkerStats aggregates the tasks of one worker process.
+type WorkerStats struct {
+	WorkerID string
+	NodeID   string
+	Tasks    []TaskStats
+
+	Executed    int64
+	Emitted     int64
+	ExecLatency time.Duration
+	QueueLen    int
+	// Slowdown is the currently injected fault slowdown (1 = healthy).
+	Slowdown float64
+	// Misbehaving reports whether any fault is currently injected.
+	Misbehaving bool
+}
+
+// AvgExecLatency returns the worker's mean execute latency.
+func (s WorkerStats) AvgExecLatency() time.Duration {
+	if s.Executed == 0 {
+		return 0
+	}
+	return s.ExecLatency / time.Duration(s.Executed)
+}
+
+// NodeStats aggregates one simulated machine.
+type NodeStats struct {
+	NodeID  string
+	Cores   int
+	Workers []string
+
+	Executed int64
+	// Busy is the instantaneous number of executors mid-execute.
+	Busy int
+}
+
+// Snapshot is a full-cluster metrics snapshot.
+type Snapshot struct {
+	At      time.Time
+	Tasks   []TaskStats
+	Workers []WorkerStats
+	Nodes   []NodeStats
+}
+
+// TaskByID returns the stats of one task, or a zero value and false.
+func (s *Snapshot) TaskByID(id int) (TaskStats, bool) {
+	for _, t := range s.Tasks {
+		if t.TaskID == id {
+			return t, true
+		}
+	}
+	return TaskStats{}, false
+}
+
+// ComponentTasks returns the stats of every task of a component, ordered
+// by task index.
+func (s *Snapshot) ComponentTasks(component string) []TaskStats {
+	var out []TaskStats
+	for _, t := range s.Tasks {
+		if t.Component == component {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// WorkerByID returns the stats of one worker, or a zero value and false.
+func (s *Snapshot) WorkerByID(id string) (WorkerStats, bool) {
+	for _, w := range s.Workers {
+		if w.WorkerID == id {
+			return w, true
+		}
+	}
+	return WorkerStats{}, false
+}
+
+// TotalExecuted sums executed tuples over all bolt tasks.
+func (s *Snapshot) TotalExecuted() int64 {
+	var total int64
+	for _, t := range s.Tasks {
+		total += t.Executed
+	}
+	return total
+}
+
+// TotalAcked sums completed roots over all spout tasks.
+func (s *Snapshot) TotalAcked() int64 {
+	var total int64
+	for _, t := range s.Tasks {
+		total += t.Acked
+	}
+	return total
+}
+
+// TotalFailed sums failed roots over all spout tasks.
+func (s *Snapshot) TotalFailed() int64 {
+	var total int64
+	for _, t := range s.Tasks {
+		total += t.Failed
+	}
+	return total
+}
+
+// CompleteQuantile estimates the q-quantile of complete latency across
+// every spout task in the snapshot.
+func (s *Snapshot) CompleteQuantile(q float64) time.Duration {
+	var hists [][]int64
+	for _, t := range s.Tasks {
+		if len(t.CompleteHist) > 0 {
+			hists = append(hists, t.CompleteHist)
+		}
+	}
+	return HistogramQuantile(MergeHistograms(hists...), q)
+}

@@ -1,0 +1,89 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("mat: singular matrix")
+
+// Solve returns x such that A x = b using Gaussian elimination with
+// partial pivoting. A must be square with len(b) rows; A and b are not
+// modified.
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("mat: Solve needs a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("mat: Solve rhs has %d entries for %dx%d system", len(b), n, n)
+	}
+	// Augmented working copy.
+	m := a.Copy()
+	x := CloneVec(b)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for c := col; c < n; c++ {
+				tmp := m.At(col, c)
+				m.Set(col, c, m.At(pivot, c))
+				m.Set(pivot, c, tmp)
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		pv := m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) / pv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m.Set(r, c, m.At(r, c)-f*m.At(col, c))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		s := x[r]
+		for c := r + 1; c < n; c++ {
+			s -= m.At(r, c) * x[c]
+		}
+		x[r] = s / m.At(r, r)
+	}
+	return x, nil
+}
+
+// LeastSquares returns the coefficients minimizing ‖Xβ - y‖² by solving the
+// normal equations (XᵀX + ridge·I) β = Xᵀy. A small ridge stabilizes the
+// nearly collinear regressors ARIMA's Hannan–Rissanen stage produces; pass
+// 0 for plain OLS.
+func LeastSquares(x *Dense, y []float64, ridge float64) ([]float64, error) {
+	if x.rows != len(y) {
+		return nil, fmt.Errorf("mat: LeastSquares has %d rows and %d targets", x.rows, len(y))
+	}
+	if x.rows < x.cols {
+		return nil, fmt.Errorf("mat: LeastSquares underdetermined: %d rows, %d cols", x.rows, x.cols)
+	}
+	xt := x.T()
+	xtx := xt.MatMul(x)
+	if ridge > 0 {
+		for i := 0; i < xtx.rows; i++ {
+			xtx.Set(i, i, xtx.At(i, i)+ridge)
+		}
+	}
+	xty := xt.MulVec(y)
+	return Solve(xtx, xty)
+}

@@ -1,0 +1,15 @@
+package mat
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// gobEncodeWire encodes a raw denseWire for forged-payload tests.
+func gobEncodeWire(w denseWire) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,70 @@
+// Package nn implements the from-scratch neural-network substrate the DRNN
+// predictor is built on: dense and LSTM layers, losses, optimizers,
+// truncated backpropagation through time, gradient clipping, and model
+// serialization. Everything operates on float64 with batch size one per
+// sequence, which is the regime of the paper's small per-worker predictors.
+package nn
+
+import "math"
+
+// Activation is a differentiable element-wise nonlinearity. Deriv takes the
+// activation *output* y (not the pre-activation), which is sufficient for
+// sigmoid/tanh/relu/identity and keeps the backward pass cache small.
+type Activation struct {
+	Name  string
+	F     func(x float64) float64
+	Deriv func(y float64) float64
+}
+
+// Sigmoid is the logistic activation.
+var Sigmoid = Activation{
+	Name:  "sigmoid",
+	F:     func(x float64) float64 { return 1 / (1 + math.Exp(-x)) },
+	Deriv: func(y float64) float64 { return y * (1 - y) },
+}
+
+// Tanh is the hyperbolic-tangent activation.
+var Tanh = Activation{
+	Name:  "tanh",
+	F:     math.Tanh,
+	Deriv: func(y float64) float64 { return 1 - y*y },
+}
+
+// ReLU is the rectified linear activation.
+var ReLU = Activation{
+	Name: "relu",
+	F: func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	},
+	Deriv: func(y float64) float64 {
+		if y > 0 {
+			return 1
+		}
+		return 0
+	},
+}
+
+// Identity is the linear (no-op) activation used by regression heads.
+var Identity = Activation{
+	Name:  "identity",
+	F:     func(x float64) float64 { return x },
+	Deriv: func(float64) float64 { return 1 },
+}
+
+// ActivationByName returns the named activation, defaulting to Identity for
+// unknown names; checkpoint loading uses it to rebuild layers.
+func ActivationByName(name string) Activation {
+	switch name {
+	case "sigmoid":
+		return Sigmoid
+	case "tanh":
+		return Tanh
+	case "relu":
+		return ReLU
+	default:
+		return Identity
+	}
+}

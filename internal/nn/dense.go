@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"predstream/internal/mat"
+)
+
+// Dense is a fully connected layer y = act(Wx + b). It caches its last
+// input and output for the backward pass, so a layer instance processes one
+// example at a time (the training loops here are purely stochastic).
+type Dense struct {
+	In, Out int
+	Act     Activation
+
+	w *Param // Out×In
+	b *Param // Out×1
+
+	lastIn  []float64
+	lastOut []float64
+}
+
+// NewDense builds a Dense layer with Xavier-initialized weights (He for
+// ReLU) and zero biases.
+func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: invalid dense dims %d->%d", in, out))
+	}
+	w := mat.New(out, in)
+	if act.Name == "relu" {
+		w.RandHe(rng)
+	} else {
+		w.RandXavier(rng)
+	}
+	return &Dense{
+		In:  in,
+		Out: out,
+		Act: act,
+		w:   newParam("dense.w", w),
+		b:   newParam("dense.b", mat.New(out, 1)),
+	}
+}
+
+// Forward computes the layer output for x, caching what Backward needs.
+func (d *Dense) Forward(x []float64) []float64 {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: dense forward got %d inputs, want %d", len(x), d.In))
+	}
+	d.lastIn = mat.CloneVec(x)
+	z := d.w.W.MulVec(x)
+	out := make([]float64, d.Out)
+	for i := range z {
+		out[i] = d.Act.F(z[i] + d.b.W.At(i, 0))
+	}
+	d.lastOut = out
+	return mat.CloneVec(out)
+}
+
+// Backward accumulates parameter gradients for the cached example given
+// dOut = ∂L/∂y and returns ∂L/∂x.
+func (d *Dense) Backward(dOut []float64) []float64 {
+	if len(dOut) != d.Out {
+		panic(fmt.Sprintf("nn: dense backward got %d grads, want %d", len(dOut), d.Out))
+	}
+	if d.lastIn == nil {
+		panic("nn: dense Backward before Forward")
+	}
+	// δ = dOut ∘ act'(y)
+	delta := make([]float64, d.Out)
+	for i, g := range dOut {
+		delta[i] = g * d.Act.Deriv(d.lastOut[i])
+	}
+	// dW += δ xᵀ ; db += δ
+	for i, dv := range delta {
+		if dv == 0 {
+			continue
+		}
+		for j, xv := range d.lastIn {
+			d.w.Grad.Set(i, j, d.w.Grad.At(i, j)+dv*xv)
+		}
+		d.b.Grad.Set(i, 0, d.b.Grad.At(i, 0)+dv)
+	}
+	// dx = Wᵀ δ
+	dx := make([]float64, d.In)
+	for i, dv := range delta {
+		if dv == 0 {
+			continue
+		}
+		for j := 0; j < d.In; j++ {
+			dx[j] += d.w.W.At(i, j) * dv
+		}
+	}
+	return dx
+}
+
+// Params returns the layer's learnable parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// Weights exposes the weight matrix and bias for serialization.
+func (d *Dense) Weights() (w, b *mat.Dense) { return d.w.W, d.b.W }
+
+// SetWeights replaces the weight matrix and bias, validating dimensions.
+func (d *Dense) SetWeights(w, b *mat.Dense) error {
+	if r, c := w.Dims(); r != d.Out || c != d.In {
+		return fmt.Errorf("nn: dense weights %dx%d, want %dx%d", r, c, d.Out, d.In)
+	}
+	if r, c := b.Dims(); r != d.Out || c != 1 {
+		return fmt.Errorf("nn: dense bias %dx%d, want %dx1", r, c, d.Out)
+	}
+	d.w.W = w.Copy()
+	d.b.W = b.Copy()
+	d.w.Grad = mat.New(d.Out, d.In)
+	d.b.Grad = mat.New(d.Out, 1)
+	return nil
+}

@@ -1,0 +1,38 @@
+package nn
+
+import "math"
+
+// GradCheck compares the analytic gradient of every parameter of net on
+// one (seq, target) example against a central finite difference, returning
+// the worst relative error encountered. Test-only code keeps it exported
+// here so the drnn package can reuse it on its composed models.
+func GradCheck(net *Network, seq [][]float64, target []float64, loss Loss, eps float64) float64 {
+	params := net.Params()
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+	pred := net.Forward(seq)
+	net.Backward(loss.Grad(pred, target))
+
+	worst := 0.0
+	for _, p := range params {
+		wd := p.W.Data()
+		gd := p.Grad.Data()
+		for i := range wd {
+			orig := wd[i]
+			wd[i] = orig + eps
+			lossPlus := loss.Value(net.Forward(seq), target)
+			wd[i] = orig - eps
+			lossMinus := loss.Value(net.Forward(seq), target)
+			wd[i] = orig
+			numeric := (lossPlus - lossMinus) / (2 * eps)
+			analytic := gd[i]
+			den := math.Max(math.Abs(numeric)+math.Abs(analytic), 1e-8)
+			rel := math.Abs(numeric-analytic) / den
+			if rel > worst {
+				worst = rel
+			}
+		}
+	}
+	return worst
+}

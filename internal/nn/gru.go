@@ -1,0 +1,260 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"predstream/internal/mat"
+)
+
+// Recurrent is the contract shared by the recurrent cell types (LSTM,
+// GRU): sequence-in/sequence-out with internal caching for BPTT.
+type Recurrent interface {
+	// ForwardSeq runs the layer over a sequence from zero state and
+	// returns the hidden state per timestep.
+	ForwardSeq(seq [][]float64) [][]float64
+	// BackwardSeq backpropagates per-timestep hidden-state gradients,
+	// accumulating parameter gradients and returning input gradients.
+	BackwardSeq(dH [][]float64) [][]float64
+	// Params returns the learnable parameters.
+	Params() []*Param
+	// InSize and HiddenSize report the layer dimensions.
+	InSize() int
+	HiddenSize() int
+	// CellType names the cell for checkpoints ("lstm", "gru").
+	CellType() string
+	// Weights returns the per-gate weight groups (input weights,
+	// recurrent weights, biases) for serialization.
+	Weights() (wx, wh, b []*mat.Dense)
+	// SetWeights replaces the weights from the serialized form.
+	SetWeights(wx, wh, b []*mat.Dense) error
+}
+
+// Interface checks.
+var (
+	_ Recurrent = (*LSTM)(nil)
+	_ Recurrent = (*GRU)(nil)
+)
+
+// GRU gate indices.
+const (
+	gruZ = iota // update
+	gruR        // reset
+	gruH        // candidate
+	numGRUGates
+)
+
+var gruGateNames = [numGRUGates]string{"z", "r", "h"}
+
+type gruStep struct {
+	x     []float64
+	hPrev []float64
+	z     []float64
+	r     []float64
+	hHat  []float64
+	a     []float64 // r ∘ hPrev, input to the candidate's recurrent term
+}
+
+// GRU is a gated recurrent unit layer (Cho et al. 2014), the lighter
+// alternative cell for the paper's DRNN (~25% fewer parameters than LSTM
+// at equal hidden size).
+type GRU struct {
+	In, Hidden int
+
+	wx [numGRUGates]*Param // Hidden×In
+	wh [numGRUGates]*Param // Hidden×Hidden
+	b  [numGRUGates]*Param // Hidden×1
+
+	steps []gruStep
+}
+
+// NewGRU builds a GRU layer with Xavier-initialized weights.
+func NewGRU(in, hidden int, rng *rand.Rand) *GRU {
+	if in <= 0 || hidden <= 0 {
+		panic(fmt.Sprintf("nn: invalid gru dims %d->%d", in, hidden))
+	}
+	g := &GRU{In: in, Hidden: hidden}
+	for i := 0; i < numGRUGates; i++ {
+		g.wx[i] = newParam("gru.wx."+gruGateNames[i], mat.New(hidden, in).RandXavier(rng))
+		g.wh[i] = newParam("gru.wh."+gruGateNames[i], mat.New(hidden, hidden).RandXavier(rng))
+		g.b[i] = newParam("gru.b."+gruGateNames[i], mat.New(hidden, 1))
+	}
+	return g
+}
+
+// InSize implements Recurrent.
+func (g *GRU) InSize() int { return g.In }
+
+// HiddenSize implements Recurrent.
+func (g *GRU) HiddenSize() int { return g.Hidden }
+
+// CellType implements Recurrent.
+func (g *GRU) CellType() string { return "gru" }
+
+// ForwardSeq implements Recurrent.
+func (g *GRU) ForwardSeq(seq [][]float64) [][]float64 {
+	g.steps = g.steps[:0]
+	h := make([]float64, g.Hidden)
+	out := make([][]float64, len(seq))
+	for t, x := range seq {
+		if len(x) != g.In {
+			panic(fmt.Sprintf("nn: gru step %d got %d inputs, want %d", t, len(x), g.In))
+		}
+		st := gruStep{x: mat.CloneVec(x), hPrev: mat.CloneVec(h)}
+		zPre := g.gatePre(gruZ, x, h)
+		rPre := g.gatePre(gruR, x, h)
+		st.z = applyVec(zPre, Sigmoid.F)
+		st.r = applyVec(rPre, Sigmoid.F)
+		st.a = make([]float64, g.Hidden)
+		for i := range st.a {
+			st.a[i] = st.r[i] * h[i]
+		}
+		hPre := g.gatePre(gruH, x, st.a)
+		st.hHat = applyVec(hPre, math.Tanh)
+		hNew := make([]float64, g.Hidden)
+		for i := range hNew {
+			hNew[i] = (1-st.z[i])*h[i] + st.z[i]*st.hHat[i]
+		}
+		g.steps = append(g.steps, st)
+		h = hNew
+		out[t] = mat.CloneVec(hNew)
+	}
+	return out
+}
+
+// gatePre computes Wx·x + Wh·rec + b for one gate.
+func (g *GRU) gatePre(gate int, x, rec []float64) []float64 {
+	pre := g.wx[gate].W.MulVec(x)
+	hTerm := g.wh[gate].W.MulVec(rec)
+	for i := range pre {
+		pre[i] += hTerm[i] + g.b[gate].W.At(i, 0)
+	}
+	return pre
+}
+
+// BackwardSeq implements Recurrent.
+func (g *GRU) BackwardSeq(dH [][]float64) [][]float64 {
+	if len(dH) != len(g.steps) {
+		panic(fmt.Sprintf("nn: gru backward got %d grads for %d cached steps", len(dH), len(g.steps)))
+	}
+	dX := make([][]float64, len(g.steps))
+	dhNext := make([]float64, g.Hidden)
+	for t := len(g.steps) - 1; t >= 0; t-- {
+		st := &g.steps[t]
+		dh := make([]float64, g.Hidden)
+		for i := range dh {
+			dh[i] = dH[t][i] + dhNext[i]
+		}
+		// h = (1-z)∘hPrev + z∘hHat
+		dz := make([]float64, g.Hidden)
+		dhHat := make([]float64, g.Hidden)
+		dhPrev := make([]float64, g.Hidden)
+		for i := range dh {
+			dz[i] = dh[i] * (st.hHat[i] - st.hPrev[i])
+			dhHat[i] = dh[i] * st.z[i]
+			dhPrev[i] = dh[i] * (1 - st.z[i])
+		}
+		// Candidate path: hHat = tanh(Wh x + Uh a + b), a = r∘hPrev.
+		dhPre := make([]float64, g.Hidden)
+		for i := range dhHat {
+			dhPre[i] = dhHat[i] * (1 - st.hHat[i]*st.hHat[i])
+		}
+		dx := make([]float64, g.In)
+		da := make([]float64, g.Hidden)
+		g.accumGate(gruH, dhPre, st.x, st.a, dx, da)
+		dr := make([]float64, g.Hidden)
+		for i := range da {
+			dr[i] = da[i] * st.hPrev[i]
+			dhPrev[i] += da[i] * st.r[i]
+		}
+		// Gate paths.
+		dzPre := make([]float64, g.Hidden)
+		drPre := make([]float64, g.Hidden)
+		for i := range dz {
+			dzPre[i] = dz[i] * st.z[i] * (1 - st.z[i])
+			drPre[i] = dr[i] * st.r[i] * (1 - st.r[i])
+		}
+		g.accumGate(gruZ, dzPre, st.x, st.hPrev, dx, dhPrev)
+		g.accumGate(gruR, drPre, st.x, st.hPrev, dx, dhPrev)
+
+		dX[t] = dx
+		dhNext = dhPrev
+	}
+	return dX
+}
+
+// accumGate accumulates one gate's weight gradients for pre-activation
+// gradient dPre with inputs (x, rec), adding input gradients into dx and
+// recurrent-input gradients into dRec.
+func (g *GRU) accumGate(gate int, dPre, x, rec, dx, dRec []float64) {
+	wxG, whG, bG := g.wx[gate], g.wh[gate], g.b[gate]
+	for i, dv := range dPre {
+		if dv == 0 {
+			continue
+		}
+		wxRow := wxG.Grad.Data()[i*g.In : (i+1)*g.In]
+		for j, xv := range x {
+			wxRow[j] += dv * xv
+		}
+		whRow := whG.Grad.Data()[i*g.Hidden : (i+1)*g.Hidden]
+		for j, rv := range rec {
+			whRow[j] += dv * rv
+		}
+		bG.Grad.Set(i, 0, bG.Grad.At(i, 0)+dv)
+		wRow := wxG.W.Data()[i*g.In : (i+1)*g.In]
+		for j, wv := range wRow {
+			dx[j] += wv * dv
+		}
+		hRow := whG.W.Data()[i*g.Hidden : (i+1)*g.Hidden]
+		for j, wv := range hRow {
+			dRec[j] += wv * dv
+		}
+	}
+}
+
+// Params implements Recurrent.
+func (g *GRU) Params() []*Param {
+	out := make([]*Param, 0, 3*numGRUGates)
+	for i := 0; i < numGRUGates; i++ {
+		out = append(out, g.wx[i], g.wh[i], g.b[i])
+	}
+	return out
+}
+
+// Weights implements Recurrent.
+func (g *GRU) Weights() (wx, wh, b []*mat.Dense) {
+	for i := 0; i < numGRUGates; i++ {
+		wx = append(wx, g.wx[i].W)
+		wh = append(wh, g.wh[i].W)
+		b = append(b, g.b[i].W)
+	}
+	return wx, wh, b
+}
+
+// SetWeights implements Recurrent.
+func (g *GRU) SetWeights(wx, wh, b []*mat.Dense) error {
+	if len(wx) != numGRUGates || len(wh) != numGRUGates || len(b) != numGRUGates {
+		return fmt.Errorf("nn: gru SetWeights needs %d matrices per group", numGRUGates)
+	}
+	for i := 0; i < numGRUGates; i++ {
+		if r, c := wx[i].Dims(); r != g.Hidden || c != g.In {
+			return fmt.Errorf("nn: gru wx[%d] is %dx%d, want %dx%d", i, r, c, g.Hidden, g.In)
+		}
+		if r, c := wh[i].Dims(); r != g.Hidden || c != g.Hidden {
+			return fmt.Errorf("nn: gru wh[%d] is %dx%d, want %dx%d", i, r, c, g.Hidden, g.Hidden)
+		}
+		if r, c := b[i].Dims(); r != g.Hidden || c != 1 {
+			return fmt.Errorf("nn: gru b[%d] is %dx%d, want %dx1", i, r, c, g.Hidden)
+		}
+	}
+	for i := 0; i < numGRUGates; i++ {
+		g.wx[i].W = wx[i].Copy()
+		g.wh[i].W = wh[i].Copy()
+		g.b[i].W = b[i].Copy()
+		g.wx[i].Grad = mat.New(g.Hidden, g.In)
+		g.wh[i].Grad = mat.New(g.Hidden, g.Hidden)
+		g.b[i].Grad = mat.New(g.Hidden, 1)
+	}
+	return nil
+}

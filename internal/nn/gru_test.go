@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGRUGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewNetwork(Arch{In: 2, LSTMHidden: []int{3}, Out: 1, Cell: "gru"}, rng)
+	seq := [][]float64{{0.2, -0.5}, {0.1, 0.9}, {-0.3, 0.4}}
+	worst := GradCheck(net, seq, []float64{0.5}, MSE{}, 1e-5)
+	if worst > 1e-4 {
+		t.Fatalf("GRU gradient check worst relative error %v", worst)
+	}
+}
+
+func TestGRUStackedGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := NewNetwork(Arch{In: 2, LSTMHidden: []int{3, 4}, DenseHidden: []int{3}, Out: 2, Cell: "gru"}, rng)
+	seq := [][]float64{{0.2, -0.5}, {0.1, 0.9}}
+	worst := GradCheck(net, seq, []float64{0.5, -0.1}, MSE{}, 1e-5)
+	if worst > 1e-4 {
+		t.Fatalf("stacked GRU gradient check worst relative error %v", worst)
+	}
+}
+
+func TestGRUForwardShapesAndState(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := NewGRU(2, 5, rng)
+	if g.InSize() != 2 || g.HiddenSize() != 5 || g.CellType() != "gru" {
+		t.Fatal("GRU metadata wrong")
+	}
+	seq := [][]float64{{1, 0}, {0, 1}, {1, 0}}
+	out := g.ForwardSeq(seq)
+	if len(out) != 3 || len(out[0]) != 5 {
+		t.Fatalf("output shape %dx%d", len(out), len(out[0]))
+	}
+	// Repeated input with state propagation should differ across steps.
+	same := true
+	for i := range out[0] {
+		if out[0][i] != out[2][i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("GRU ignored recurrent state")
+	}
+	// State resets between sequences.
+	again := g.ForwardSeq(seq)
+	for i := range out[0] {
+		if out[0][i] != again[0][i] {
+			t.Fatal("GRU state leaked across sequences")
+		}
+	}
+}
+
+func TestGRULearnsSine(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const window = 8
+	var data Dataset
+	for i := 0; i < 200; i++ {
+		seq := make([][]float64, window)
+		for k := 0; k < window; k++ {
+			seq[k] = []float64{math.Sin(0.3 * float64(i+k))}
+		}
+		data.X = append(data.X, seq)
+		data.Y = append(data.Y, []float64{math.Sin(0.3 * float64(i+window))})
+	}
+	net := NewNetwork(Arch{In: 1, LSTMHidden: []int{12}, Out: 1, Cell: "gru"}, rng)
+	losses, err := Train(net, data, TrainConfig{
+		Epochs: 30, Optimizer: NewAdam(5e-3), ClipNorm: 5, Shuffle: true, Rng: rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if losses[len(losses)-1] > 0.01 {
+		t.Fatalf("GRU final loss %v too high", losses[len(losses)-1])
+	}
+}
+
+func TestGRUFewerParamsThanLSTM(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	lstm := NewNetwork(Arch{In: 4, LSTMHidden: []int{16}, Out: 1, Cell: "lstm"}, rng)
+	gru := NewNetwork(Arch{In: 4, LSTMHidden: []int{16}, Out: 1, Cell: "gru"}, rng)
+	if gru.NumParams() >= lstm.NumParams() {
+		t.Fatalf("GRU params %d not fewer than LSTM %d", gru.NumParams(), lstm.NumParams())
+	}
+}
+
+func TestGRUSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := NewNetwork(Arch{In: 3, LSTMHidden: []int{4, 5}, DenseHidden: []int{6}, Out: 2, Cell: "gru"}, rng)
+	seq := [][]float64{{0.1, 0.2, 0.3}, {-0.1, 0.5, 0.2}}
+	want := net.Forward(seq)
+	var buf bytes.Buffer
+	if err := Save(net, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Recurrent[0].CellType() != "gru" {
+		t.Fatal("cell type lost in round-trip")
+	}
+	got := loaded.Forward(seq)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("round-trip output %v want %v", got, want)
+		}
+	}
+}
+
+func TestGRUSetWeightsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := NewGRU(2, 3, rng)
+	wx, wh, b := g.Weights()
+	if err := g.SetWeights(wx[:2], wh, b); err == nil {
+		t.Fatal("short weight group accepted")
+	}
+	if err := g.SetWeights(wx, wh, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownCellPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown cell did not panic")
+		}
+	}()
+	NewNetwork(Arch{In: 1, LSTMHidden: []int{2}, Out: 1, Cell: "rnn"}, rand.New(rand.NewSource(1)))
+}
+
+func BenchmarkGRUForwardWindow10(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	net := NewNetwork(Arch{In: 12, LSTMHidden: []int{32, 32}, DenseHidden: []int{16}, Out: 1, Cell: "gru"}, rng)
+	seq := make([][]float64, 10)
+	for t := range seq {
+		seq[t] = make([]float64, 12)
+		for i := range seq[t] {
+			seq[t][i] = rng.Float64()
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(seq)
+	}
+}

@@ -1,0 +1,252 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"predstream/internal/mat"
+)
+
+// Gate indices into the LSTM parameter arrays.
+const (
+	gateF = iota // forget
+	gateI        // input
+	gateG        // candidate
+	gateO        // output
+	numGates
+)
+
+var gateNames = [numGates]string{"f", "i", "g", "o"}
+
+// lstmStep caches everything one timestep's backward pass needs.
+type lstmStep struct {
+	x     []float64
+	hPrev []float64
+	cPrev []float64
+	gates [numGates][]float64 // post-activation gate values
+	c     []float64
+	tanhC []float64
+	h     []float64
+}
+
+// LSTM is a single recurrent layer with standard LSTM cell dynamics and
+// truncated-BPTT training over whole sequences. Like Dense, one instance
+// handles one sequence at a time.
+type LSTM struct {
+	In, Hidden int
+
+	wx [numGates]*Param // Hidden×In input weights per gate
+	wh [numGates]*Param // Hidden×Hidden recurrent weights per gate
+	b  [numGates]*Param // Hidden×1 biases per gate
+
+	steps []lstmStep
+}
+
+// NewLSTM builds an LSTM layer with Xavier-initialized weights. The forget
+// gate bias starts at 1 (the standard trick that keeps early memory open).
+func NewLSTM(in, hidden int, rng *rand.Rand) *LSTM {
+	if in <= 0 || hidden <= 0 {
+		panic(fmt.Sprintf("nn: invalid lstm dims %d->%d", in, hidden))
+	}
+	l := &LSTM{In: in, Hidden: hidden}
+	for g := 0; g < numGates; g++ {
+		l.wx[g] = newParam("lstm.wx."+gateNames[g], mat.New(hidden, in).RandXavier(rng))
+		l.wh[g] = newParam("lstm.wh."+gateNames[g], mat.New(hidden, hidden).RandXavier(rng))
+		bias := mat.New(hidden, 1)
+		if g == gateF {
+			bias.Fill(1)
+		}
+		l.b[g] = newParam("lstm.b."+gateNames[g], bias)
+	}
+	return l
+}
+
+// ForwardSeq runs the layer over a sequence of input vectors starting from
+// zero state, returning the hidden state at every timestep.
+func (l *LSTM) ForwardSeq(seq [][]float64) [][]float64 {
+	l.steps = l.steps[:0]
+	h := make([]float64, l.Hidden)
+	c := make([]float64, l.Hidden)
+	out := make([][]float64, len(seq))
+	for t, x := range seq {
+		if len(x) != l.In {
+			panic(fmt.Sprintf("nn: lstm step %d got %d inputs, want %d", t, len(x), l.In))
+		}
+		step := lstmStep{
+			x:     mat.CloneVec(x),
+			hPrev: mat.CloneVec(h),
+			cPrev: mat.CloneVec(c),
+		}
+		var z [numGates][]float64
+		for g := 0; g < numGates; g++ {
+			zg := l.wx[g].W.MulVec(x)
+			rec := l.wh[g].W.MulVec(h)
+			for i := range zg {
+				zg[i] += rec[i] + l.b[g].W.At(i, 0)
+			}
+			z[g] = zg
+		}
+		f := applyVec(z[gateF], Sigmoid.F)
+		in := applyVec(z[gateI], Sigmoid.F)
+		gg := applyVec(z[gateG], math.Tanh)
+		o := applyVec(z[gateO], Sigmoid.F)
+		cNew := make([]float64, l.Hidden)
+		for i := range cNew {
+			cNew[i] = f[i]*c[i] + in[i]*gg[i]
+		}
+		tc := applyVec(cNew, math.Tanh)
+		hNew := make([]float64, l.Hidden)
+		for i := range hNew {
+			hNew[i] = o[i] * tc[i]
+		}
+		step.gates = [numGates][]float64{f, in, gg, o}
+		step.c = cNew
+		step.tanhC = tc
+		step.h = hNew
+		l.steps = append(l.steps, step)
+		h, c = hNew, cNew
+		out[t] = mat.CloneVec(hNew)
+	}
+	return out
+}
+
+// BackwardSeq backpropagates through the cached sequence. dH holds
+// ∂L/∂h_t for every timestep (zero vectors where the loss does not touch a
+// step). It accumulates parameter gradients and returns ∂L/∂x_t per step.
+func (l *LSTM) BackwardSeq(dH [][]float64) [][]float64 {
+	if len(dH) != len(l.steps) {
+		panic(fmt.Sprintf("nn: lstm backward got %d grads for %d cached steps", len(dH), len(l.steps)))
+	}
+	dX := make([][]float64, len(l.steps))
+	dhNext := make([]float64, l.Hidden)
+	dcNext := make([]float64, l.Hidden)
+	for t := len(l.steps) - 1; t >= 0; t-- {
+		st := &l.steps[t]
+		dh := make([]float64, l.Hidden)
+		for i := range dh {
+			dh[i] = dH[t][i] + dhNext[i]
+		}
+		f, in, gg, o := st.gates[gateF], st.gates[gateI], st.gates[gateG], st.gates[gateO]
+
+		// Through h = o ∘ tanh(c).
+		do := make([]float64, l.Hidden)
+		dc := make([]float64, l.Hidden)
+		for i := range dh {
+			do[i] = dh[i] * st.tanhC[i]
+			dc[i] = dh[i]*o[i]*(1-st.tanhC[i]*st.tanhC[i]) + dcNext[i]
+		}
+		// Through c = f∘cPrev + i∘g.
+		var dz [numGates][]float64
+		dz[gateF] = make([]float64, l.Hidden)
+		dz[gateI] = make([]float64, l.Hidden)
+		dz[gateG] = make([]float64, l.Hidden)
+		dz[gateO] = make([]float64, l.Hidden)
+		dcPrev := make([]float64, l.Hidden)
+		for i := range dc {
+			dcPrev[i] = dc[i] * f[i]
+			dz[gateF][i] = dc[i] * st.cPrev[i] * f[i] * (1 - f[i])
+			dz[gateI][i] = dc[i] * gg[i] * in[i] * (1 - in[i])
+			dz[gateG][i] = dc[i] * in[i] * (1 - gg[i]*gg[i])
+			dz[gateO][i] = do[i] * o[i] * (1 - o[i])
+		}
+
+		dx := make([]float64, l.In)
+		dhPrev := make([]float64, l.Hidden)
+		for g := 0; g < numGates; g++ {
+			dzg := dz[g]
+			wxG, whG, bG := l.wx[g], l.wh[g], l.b[g]
+			for i, dv := range dzg {
+				if dv == 0 {
+					continue
+				}
+				// dWx += dz xᵀ, dWh += dz hPrevᵀ, db += dz.
+				wxRow := wxG.Grad.Data()[i*l.In : (i+1)*l.In]
+				for j, xv := range st.x {
+					wxRow[j] += dv * xv
+				}
+				whRow := whG.Grad.Data()[i*l.Hidden : (i+1)*l.Hidden]
+				for j, hv := range st.hPrev {
+					whRow[j] += dv * hv
+				}
+				bG.Grad.Set(i, 0, bG.Grad.At(i, 0)+dv)
+				// dx += Wxᵀ dz, dhPrev += Whᵀ dz.
+				wRow := wxG.W.Data()[i*l.In : (i+1)*l.In]
+				for j, wv := range wRow {
+					dx[j] += wv * dv
+				}
+				hRow := whG.W.Data()[i*l.Hidden : (i+1)*l.Hidden]
+				for j, wv := range hRow {
+					dhPrev[j] += wv * dv
+				}
+			}
+		}
+		dX[t] = dx
+		dhNext, dcNext = dhPrev, dcPrev
+	}
+	return dX
+}
+
+// InSize implements Recurrent.
+func (l *LSTM) InSize() int { return l.In }
+
+// HiddenSize implements Recurrent.
+func (l *LSTM) HiddenSize() int { return l.Hidden }
+
+// CellType implements Recurrent.
+func (l *LSTM) CellType() string { return "lstm" }
+
+// Params returns all learnable parameters of the layer.
+func (l *LSTM) Params() []*Param {
+	out := make([]*Param, 0, 3*numGates)
+	for g := 0; g < numGates; g++ {
+		out = append(out, l.wx[g], l.wh[g], l.b[g])
+	}
+	return out
+}
+
+// Weights exposes the per-gate weights for serialization in gate order
+// f, i, g, o: input weights, recurrent weights, biases.
+func (l *LSTM) Weights() (wx, wh, b []*mat.Dense) {
+	for g := 0; g < numGates; g++ {
+		wx = append(wx, l.wx[g].W)
+		wh = append(wh, l.wh[g].W)
+		b = append(b, l.b[g].W)
+	}
+	return wx, wh, b
+}
+
+// SetWeights replaces the layer's weights from the serialized form.
+func (l *LSTM) SetWeights(wx, wh, b []*mat.Dense) error {
+	if len(wx) != numGates || len(wh) != numGates || len(b) != numGates {
+		return fmt.Errorf("nn: lstm SetWeights needs %d matrices per group", numGates)
+	}
+	for g := 0; g < numGates; g++ {
+		if r, c := wx[g].Dims(); r != l.Hidden || c != l.In {
+			return fmt.Errorf("nn: lstm wx[%d] is %dx%d, want %dx%d", g, r, c, l.Hidden, l.In)
+		}
+		if r, c := wh[g].Dims(); r != l.Hidden || c != l.Hidden {
+			return fmt.Errorf("nn: lstm wh[%d] is %dx%d, want %dx%d", g, r, c, l.Hidden, l.Hidden)
+		}
+		if r, c := b[g].Dims(); r != l.Hidden || c != 1 {
+			return fmt.Errorf("nn: lstm b[%d] is %dx%d, want %dx1", g, r, c, l.Hidden)
+		}
+	}
+	for g := 0; g < numGates; g++ {
+		l.wx[g].W = wx[g].Copy()
+		l.wh[g].W = wh[g].Copy()
+		l.b[g].W = b[g].Copy()
+		l.wx[g].Grad = mat.New(l.Hidden, l.In)
+		l.wh[g].Grad = mat.New(l.Hidden, l.Hidden)
+		l.b[g].Grad = mat.New(l.Hidden, 1)
+	}
+	return nil
+}
+
+func applyVec(xs []float64, f func(float64) float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = f(x)
+	}
+	return out
+}

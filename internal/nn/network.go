@@ -1,0 +1,208 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"predstream/internal/mat"
+)
+
+// Network is a sequence-to-one regression model: a stack of recurrent
+// layers (LSTM or GRU) consumes the input window timestep by timestep, and
+// a stack of dense layers maps the final hidden state to the output
+// vector. This is exactly the paper's DRNN shape (recurrent layers +
+// fully-connected output).
+type Network struct {
+	Recurrent []Recurrent
+	Head      []*Dense
+
+	// DropoutP drops units of the recurrent stack's final hidden state
+	// during training (inverted dropout); 0 disables.
+	DropoutP float64
+
+	lastSeqLen  int
+	training    bool
+	dropRng     *rand.Rand
+	lastDropout []float64 // mask applied in the last training Forward
+}
+
+// SetTraining toggles training mode (enables dropout). rng drives mask
+// sampling and is required when DropoutP > 0.
+func (n *Network) SetTraining(training bool, rng *rand.Rand) {
+	n.training = training
+	n.dropRng = rng
+}
+
+// Arch describes a Network to construct: input feature count, hidden sizes
+// of the recurrent stack, hidden sizes of the dense head, and output size.
+type Arch struct {
+	In          int
+	LSTMHidden  []int
+	DenseHidden []int
+	Out         int
+	HiddenAct   Activation // activation for dense hidden layers; default Tanh
+	// Cell selects the recurrent cell: "lstm" (default) or "gru".
+	Cell string
+	// Dropout drops this fraction of the recurrent output during
+	// training; 0 disables. Must be in [0, 0.9].
+	Dropout float64
+}
+
+// NewNetwork builds a Network from arch with weights drawn from rng.
+func NewNetwork(arch Arch, rng *rand.Rand) *Network {
+	if arch.In <= 0 || arch.Out <= 0 {
+		panic(fmt.Sprintf("nn: invalid arch in=%d out=%d", arch.In, arch.Out))
+	}
+	if len(arch.LSTMHidden) == 0 {
+		panic("nn: arch needs at least one recurrent layer")
+	}
+	hiddenAct := arch.HiddenAct
+	if hiddenAct.F == nil {
+		hiddenAct = Tanh
+	}
+	cell := arch.Cell
+	if cell == "" {
+		cell = "lstm"
+	}
+	if arch.Dropout < 0 || arch.Dropout > 0.9 {
+		panic(fmt.Sprintf("nn: dropout %v out of [0, 0.9]", arch.Dropout))
+	}
+	net := &Network{DropoutP: arch.Dropout}
+	in := arch.In
+	for _, h := range arch.LSTMHidden {
+		switch cell {
+		case "lstm":
+			net.Recurrent = append(net.Recurrent, NewLSTM(in, h, rng))
+		case "gru":
+			net.Recurrent = append(net.Recurrent, NewGRU(in, h, rng))
+		default:
+			panic(fmt.Sprintf("nn: unknown recurrent cell %q", cell))
+		}
+		in = h
+	}
+	for _, h := range arch.DenseHidden {
+		net.Head = append(net.Head, NewDense(in, h, hiddenAct, rng))
+		in = h
+	}
+	net.Head = append(net.Head, NewDense(in, arch.Out, Identity, rng))
+	return net
+}
+
+// InSize returns the expected per-timestep feature count.
+func (n *Network) InSize() int { return n.Recurrent[0].InSize() }
+
+// OutSize returns the output vector length.
+func (n *Network) OutSize() int { return n.Head[len(n.Head)-1].Out }
+
+// Forward runs the network on one sequence (timesteps × features) and
+// returns the output vector, caching activations for Backward.
+func (n *Network) Forward(seq [][]float64) []float64 {
+	if len(seq) == 0 {
+		panic("nn: Forward on empty sequence")
+	}
+	n.lastSeqLen = len(seq)
+	hidden := seq
+	for _, l := range n.Recurrent {
+		hidden = l.ForwardSeq(hidden)
+	}
+	out := hidden[len(hidden)-1]
+	n.lastDropout = nil
+	if n.training && n.DropoutP > 0 {
+		if n.dropRng == nil {
+			panic("nn: dropout requires SetTraining with an rng")
+		}
+		// Inverted dropout: surviving units scale by 1/(1-p) so inference
+		// needs no rescaling.
+		mask := make([]float64, len(out))
+		scaled := make([]float64, len(out))
+		keep := 1 - n.DropoutP
+		for i, v := range out {
+			if n.dropRng.Float64() < keep {
+				mask[i] = 1 / keep
+				scaled[i] = v / keep
+			}
+		}
+		n.lastDropout = mask
+		out = scaled
+	}
+	for _, d := range n.Head {
+		out = d.Forward(out)
+	}
+	return out
+}
+
+// Backward accumulates gradients for the last Forward call given
+// dOut = ∂L/∂output.
+func (n *Network) Backward(dOut []float64) {
+	if n.lastSeqLen == 0 {
+		panic("nn: Backward before Forward")
+	}
+	grad := dOut
+	for i := len(n.Head) - 1; i >= 0; i-- {
+		grad = n.Head[i].Backward(grad)
+	}
+	if n.lastDropout != nil {
+		for i := range grad {
+			grad[i] *= n.lastDropout[i]
+		}
+	}
+	// In seq-to-one mode only the final timestep of the top recurrent layer
+	// receives loss gradient; each layer's per-timestep input gradient is
+	// the hidden-state gradient of the layer below.
+	top := n.Recurrent[len(n.Recurrent)-1]
+	dH := make([][]float64, n.lastSeqLen)
+	for t := range dH {
+		dH[t] = make([]float64, top.HiddenSize())
+	}
+	dH[n.lastSeqLen-1] = grad
+	for i := len(n.Recurrent) - 1; i >= 0; i-- {
+		dX := n.Recurrent[i].BackwardSeq(dH)
+		if i > 0 {
+			dH = dX
+		}
+	}
+}
+
+// Params returns every learnable parameter in the network.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, l := range n.Recurrent {
+		out = append(out, l.Params()...)
+	}
+	for _, d := range n.Head {
+		out = append(out, d.Params()...)
+	}
+	return out
+}
+
+// NumParams returns the total scalar parameter count.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		r, c := p.W.Dims()
+		total += r * c
+	}
+	return total
+}
+
+// SnapshotWeights deep-copies every parameter tensor, for best-epoch
+// restoration during validated training.
+func (n *Network) SnapshotWeights() []*mat.Dense {
+	params := n.Params()
+	out := make([]*mat.Dense, len(params))
+	for i, p := range params {
+		out[i] = p.W.Copy()
+	}
+	return out
+}
+
+// RestoreWeights loads a snapshot produced by SnapshotWeights.
+func (n *Network) RestoreWeights(snap []*mat.Dense) {
+	params := n.Params()
+	if len(snap) != len(params) {
+		panic(fmt.Sprintf("nn: snapshot has %d tensors for %d params", len(snap), len(params)))
+	}
+	for i, p := range params {
+		copy(p.W.Data(), snap[i].Data())
+	}
+}

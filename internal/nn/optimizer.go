@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"math"
+
+	"predstream/internal/mat"
+)
+
+// Optimizer updates parameters from their accumulated gradients and zeroes
+// the gradients. Implementations keep per-parameter state keyed by the
+// *Param pointer, so a given optimizer instance must always be stepped with
+// the same parameter set.
+type Optimizer interface {
+	Step(params []*Param)
+	Name() string
+}
+
+// SGD is stochastic gradient descent with optional classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	velocity map[*Param]*mat.Dense
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and
+// momentum (0 disables momentum).
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Param]*mat.Dense)}
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if s.Momentum > 0 {
+			v, ok := s.velocity[p]
+			if !ok {
+				r, c := p.W.Dims()
+				v = mat.New(r, c)
+				s.velocity[p] = v
+			}
+			vd, gd, wd := v.Data(), p.Grad.Data(), p.W.Data()
+			for i := range vd {
+				vd[i] = s.Momentum*vd[i] - s.LR*gd[i]
+				wd[i] += vd[i]
+			}
+		} else {
+			gd, wd := p.Grad.Data(), p.W.Data()
+			for i := range gd {
+				wd[i] -= s.LR * gd[i]
+			}
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba 2015) with bias correction, the
+// optimizer the paper's DRNN training uses.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m map[*Param]*mat.Dense
+	v map[*Param]*mat.Dense
+}
+
+// NewAdam returns an Adam optimizer with standard defaults for any field
+// left at zero (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR:    lr,
+		Beta1: 0.9,
+		Beta2: 0.999,
+		Eps:   1e-8,
+		m:     make(map[*Param]*mat.Dense),
+		v:     make(map[*Param]*mat.Dense),
+	}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			r, c := p.W.Dims()
+			m = mat.New(r, c)
+			a.m[p] = m
+			a.v[p] = mat.New(r, c)
+		}
+		v := a.v[p]
+		md, vd, gd, wd := m.Data(), v.Data(), p.Grad.Data(), p.W.Data()
+		for i := range gd {
+			g := gd[i]
+			md[i] = a.Beta1*md[i] + (1-a.Beta1)*g
+			vd[i] = a.Beta2*vd[i] + (1-a.Beta2)*g*g
+			mHat := md[i] / bc1
+			vHat := vd[i] / bc2
+			wd[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// RMSProp is the RMSProp optimizer, the common pre-Adam default for
+// recurrent networks.
+type RMSProp struct {
+	LR, Decay, Eps float64
+
+	cache map[*Param]*mat.Dense
+}
+
+// NewRMSProp returns an RMSProp optimizer with decay 0.9 and ε=1e-8.
+func NewRMSProp(lr float64) *RMSProp {
+	return &RMSProp{LR: lr, Decay: 0.9, Eps: 1e-8, cache: make(map[*Param]*mat.Dense)}
+}
+
+// Name implements Optimizer.
+func (r *RMSProp) Name() string { return "rmsprop" }
+
+// Step implements Optimizer.
+func (r *RMSProp) Step(params []*Param) {
+	for _, p := range params {
+		c, ok := r.cache[p]
+		if !ok {
+			rows, cols := p.W.Dims()
+			c = mat.New(rows, cols)
+			r.cache[p] = c
+		}
+		cd, gd, wd := c.Data(), p.Grad.Data(), p.W.Data()
+		for i := range gd {
+			g := gd[i]
+			cd[i] = r.Decay*cd[i] + (1-r.Decay)*g*g
+			wd[i] -= r.LR * g / (math.Sqrt(cd[i]) + r.Eps)
+		}
+		p.ZeroGrad()
+	}
+}

@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"predstream/internal/mat"
+)
+
+// checkpoint is the gob wire format for a Network.
+type checkpoint struct {
+	In          int
+	Out         int
+	LSTMHidden  []int
+	DenseHidden []int
+	HiddenAct   string
+	Cell        string // recurrent cell type; "" means lstm
+
+	LSTMWx [][]*mat.Dense
+	LSTMWh [][]*mat.Dense
+	LSTMB  [][]*mat.Dense
+	HeadW  []*mat.Dense
+	HeadB  []*mat.Dense
+}
+
+// Save serializes the network's architecture and weights to w.
+func Save(net *Network, w io.Writer) error {
+	cp := checkpoint{
+		In:   net.InSize(),
+		Out:  net.OutSize(),
+		Cell: net.Recurrent[0].CellType(),
+	}
+	for _, l := range net.Recurrent {
+		cp.LSTMHidden = append(cp.LSTMHidden, l.HiddenSize())
+		wx, wh, b := l.Weights()
+		cp.LSTMWx = append(cp.LSTMWx, wx)
+		cp.LSTMWh = append(cp.LSTMWh, wh)
+		cp.LSTMB = append(cp.LSTMB, b)
+	}
+	for i, d := range net.Head {
+		if i < len(net.Head)-1 {
+			cp.DenseHidden = append(cp.DenseHidden, d.Out)
+			cp.HiddenAct = d.Act.Name
+		}
+		dw, db := d.Weights()
+		cp.HeadW = append(cp.HeadW, dw)
+		cp.HeadB = append(cp.HeadB, db)
+	}
+	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("nn: save: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a network from a checkpoint written by Save.
+func Load(r io.Reader) (*Network, error) {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("nn: load: %w", err)
+	}
+	if len(cp.LSTMHidden) == 0 || cp.In <= 0 || cp.Out <= 0 {
+		return nil, fmt.Errorf("nn: load: malformed checkpoint")
+	}
+	// Rebuild with a throwaway rng; weights are overwritten below.
+	net := NewNetwork(Arch{
+		In:          cp.In,
+		LSTMHidden:  cp.LSTMHidden,
+		DenseHidden: cp.DenseHidden,
+		Out:         cp.Out,
+		HiddenAct:   ActivationByName(cp.HiddenAct),
+		Cell:        cp.Cell,
+	}, rand.New(rand.NewSource(0)))
+	if len(cp.LSTMWx) != len(net.Recurrent) || len(cp.HeadW) != len(net.Head) {
+		return nil, fmt.Errorf("nn: load: layer count mismatch")
+	}
+	for i, l := range net.Recurrent {
+		if err := l.SetWeights(cp.LSTMWx[i], cp.LSTMWh[i], cp.LSTMB[i]); err != nil {
+			return nil, err
+		}
+	}
+	for i, d := range net.Head {
+		if err := d.SetWeights(cp.HeadW[i], cp.HeadB[i]); err != nil {
+			return nil, err
+		}
+	}
+	return net, nil
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Forecast-error metrics. All take (actual, predicted) slices of equal
+// length and panic on length mismatch, because mismatched series are always
+// a harness bug rather than a data condition.
+
+func checkPair(actual, pred []float64, op string) {
+	if len(actual) != len(pred) {
+		panic(fmt.Sprintf("stats: %s length mismatch %d vs %d", op, len(actual), len(pred)))
+	}
+}
+
+// MAE returns the mean absolute error, or 0 for empty input.
+func MAE(actual, pred []float64) float64 {
+	checkPair(actual, pred, "MAE")
+	if len(actual) == 0 {
+		return 0
+	}
+	var s float64
+	for i, a := range actual {
+		s += math.Abs(a - pred[i])
+	}
+	return s / float64(len(actual))
+}
+
+// RMSE returns the root mean squared error, or 0 for empty input.
+func RMSE(actual, pred []float64) float64 {
+	checkPair(actual, pred, "RMSE")
+	if len(actual) == 0 {
+		return 0
+	}
+	var s float64
+	for i, a := range actual {
+		d := a - pred[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(actual)))
+}
+
+// MAPE returns the mean absolute percentage error in percent. Points where
+// the actual value is zero are skipped (the standard convention); if every
+// point is zero MAPE returns 0.
+func MAPE(actual, pred []float64) float64 {
+	checkPair(actual, pred, "MAPE")
+	var s float64
+	n := 0
+	for i, a := range actual {
+		if a == 0 {
+			continue
+		}
+		s += math.Abs((a - pred[i]) / a)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * s / float64(n)
+}
+
+// SMAPE returns the symmetric mean absolute percentage error in percent,
+// using the |a|+|p| denominator convention; points where both are zero are
+// skipped.
+func SMAPE(actual, pred []float64) float64 {
+	checkPair(actual, pred, "SMAPE")
+	var s float64
+	n := 0
+	for i, a := range actual {
+		den := math.Abs(a) + math.Abs(pred[i])
+		if den == 0 {
+			continue
+		}
+		s += math.Abs(a-pred[i]) / den
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return 200 * s / float64(n)
+}
+
+// R2 returns the coefficient of determination. A constant actual series
+// yields R2 = 0 by convention (no variance to explain).
+func R2(actual, pred []float64) float64 {
+	checkPair(actual, pred, "R2")
+	if len(actual) == 0 {
+		return 0
+	}
+	mean := Mean(actual)
+	var ssTot, ssRes float64
+	for i, a := range actual {
+		ssTot += (a - mean) * (a - mean)
+		d := a - pred[i]
+		ssRes += d * d
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Report bundles the standard forecast-error metrics for one model on one
+// series, as the accuracy experiments print them.
+type Report struct {
+	Model string
+	MAE   float64
+	RMSE  float64
+	MAPE  float64
+	SMAPE float64
+	R2    float64
+}
+
+// Evaluate computes a full Report for a (actual, predicted) pair.
+func Evaluate(model string, actual, pred []float64) Report {
+	return Report{
+		Model: model,
+		MAE:   MAE(actual, pred),
+		RMSE:  RMSE(actual, pred),
+		MAPE:  MAPE(actual, pred),
+		SMAPE: SMAPE(actual, pred),
+		R2:    R2(actual, pred),
+	}
+}
+
+// String renders the report as one table row.
+func (r Report) String() string {
+	return fmt.Sprintf("%-10s MAE=%8.4f RMSE=%8.4f MAPE=%6.2f%% sMAPE=%6.2f%% R2=%6.3f",
+		r.Model, r.MAE, r.RMSE, r.MAPE, r.SMAPE, r.R2)
+}

@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Diff returns the d-th order difference of xs: each pass replaces the
+// series with consecutive deltas, shortening it by one. It returns an error
+// if the series is too short to difference d times.
+func Diff(xs []float64, d int) ([]float64, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("stats: negative differencing order %d", d)
+	}
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	for k := 0; k < d; k++ {
+		if len(out) < 2 {
+			return nil, fmt.Errorf("stats: series of %d too short for d=%d", len(xs), d)
+		}
+		next := make([]float64, len(out)-1)
+		for i := 1; i < len(out); i++ {
+			next[i-1] = out[i] - out[i-1]
+		}
+		out = next
+	}
+	return out, nil
+}
+
+// Undiff inverts a single differencing pass: given the last observed level
+// and a forecast of differences, it returns the forecast of levels.
+func Undiff(lastLevel float64, diffs []float64) []float64 {
+	out := make([]float64, len(diffs))
+	level := lastLevel
+	for i, d := range diffs {
+		level += d
+		out[i] = level
+	}
+	return out
+}
+
+// ACF returns autocorrelations of xs at lags 0..maxLag. Lag 0 is always 1
+// for a non-constant series; for a constant (zero-variance) series all lags
+// return 0.
+func ACF(xs []float64, maxLag int) []float64 {
+	if maxLag >= len(xs) {
+		maxLag = len(xs) - 1
+	}
+	if maxLag < 0 {
+		return nil
+	}
+	out := make([]float64, maxLag+1)
+	m := Mean(xs)
+	var c0 float64
+	for _, x := range xs {
+		c0 += (x - m) * (x - m)
+	}
+	if c0 == 0 {
+		return out
+	}
+	for lag := 0; lag <= maxLag; lag++ {
+		var c float64
+		for i := lag; i < len(xs); i++ {
+			c += (xs[i] - m) * (xs[i-lag] - m)
+		}
+		out[lag] = c / c0
+	}
+	return out
+}
+
+// StandardScaler is a z-score scaler fit on a training series and applied
+// to further data, as the DRNN preprocessing requires.
+type StandardScaler struct {
+	Mean, Std float64
+}
+
+// FitStandard fits a StandardScaler on xs. A zero-variance series gets
+// Std=1 so Transform is the identity shift.
+func FitStandard(xs []float64) StandardScaler {
+	s := StandardScaler{Mean: Mean(xs), Std: StdDev(xs)}
+	if s.Std == 0 {
+		s.Std = 1
+	}
+	return s
+}
+
+// Transform maps x into z-score space.
+func (s StandardScaler) Transform(x float64) float64 { return (x - s.Mean) / s.Std }
+
+// Inverse maps a z-score back to the original space.
+func (s StandardScaler) Inverse(z float64) float64 { return z*s.Std + s.Mean }
+
+// TransformAll returns the z-scores of xs.
+func (s StandardScaler) TransformAll(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = s.Transform(x)
+	}
+	return out
+}
+
+// InverseAll maps z-scores back to the original space.
+func (s StandardScaler) InverseAll(zs []float64) []float64 {
+	out := make([]float64, len(zs))
+	for i, z := range zs {
+		out[i] = s.Inverse(z)
+	}
+	return out
+}
+
+// MinMaxScaler maps a training range onto [0,1].
+type MinMaxScaler struct {
+	Min, Max float64
+}
+
+// FitMinMax fits a MinMaxScaler on xs. A constant series maps to 0.
+func FitMinMax(xs []float64) MinMaxScaler {
+	if len(xs) == 0 {
+		return MinMaxScaler{Min: 0, Max: 1}
+	}
+	return MinMaxScaler{Min: Min(xs), Max: Max(xs)}
+}
+
+// Transform maps x into [0,1] relative to the fitted range. Values outside
+// the training range extrapolate linearly.
+func (s MinMaxScaler) Transform(x float64) float64 {
+	span := s.Max - s.Min
+	if span == 0 {
+		return 0
+	}
+	return (x - s.Min) / span
+}
+
+// Inverse maps a scaled value back to the original range.
+func (s MinMaxScaler) Inverse(y float64) float64 {
+	return s.Min + y*(s.Max-s.Min)
+}
+
+// EWMA returns the exponentially weighted moving average of xs with
+// smoothing factor alpha in (0,1].
+func EWMA(xs []float64, alpha float64) []float64 {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("stats: EWMA alpha %v out of (0,1]", alpha))
+	}
+	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	out[0] = xs[0]
+	for i := 1; i < len(xs); i++ {
+		out[i] = alpha*xs[i] + (1-alpha)*out[i-1]
+	}
+	return out
+}
+
+// RollingMean returns the trailing moving average of xs with the given
+// window; the first window-1 points average over what is available.
+func RollingMean(xs []float64, window int) []float64 {
+	if window <= 0 {
+		panic("stats: RollingMean window must be positive")
+	}
+	out := make([]float64, len(xs))
+	var sum float64
+	for i, x := range xs {
+		sum += x
+		if i >= window {
+			sum -= xs[i-window]
+			out[i] = sum / float64(window)
+		} else {
+			out[i] = sum / float64(i+1)
+		}
+	}
+	return out
+}
+
+// IsFiniteSeries reports whether every element of xs is finite.
+func IsFiniteSeries(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

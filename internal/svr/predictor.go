@@ -1,0 +1,110 @@
+package svr
+
+import (
+	"fmt"
+
+	"predstream/internal/stats"
+	"predstream/internal/timeseries"
+)
+
+// WindowPredictor adapts SVR to the timeseries.Predictor contract: the
+// feature vector is a flattened window of the last W multivariate
+// observations (the same encoding the DRNN consumes, so E1/E2 compare the
+// models on identical information), standardized per dimension; the target
+// is standardized too and predictions are mapped back.
+type WindowPredictor struct {
+	Window  int
+	Horizon int
+	Model   *SVR
+
+	featScalers []stats.StandardScaler
+	tgtScaler   stats.StandardScaler
+	fitted      bool
+}
+
+// NewWindowPredictor returns an SVR predictor over windows of w points for
+// the given forecast horizon. model may be nil for defaults.
+func NewWindowPredictor(w, horizon int, model *SVR) *WindowPredictor {
+	if w <= 0 || horizon <= 0 {
+		panic(fmt.Sprintf("svr: invalid window %d or horizon %d", w, horizon))
+	}
+	if model == nil {
+		model = &SVR{}
+	}
+	return &WindowPredictor{Window: w, Horizon: horizon, Model: model}
+}
+
+// Name implements timeseries.Predictor.
+func (p *WindowPredictor) Name() string { return "SVR" }
+
+// MinContext implements timeseries.Predictor.
+func (p *WindowPredictor) MinContext() int { return p.Window }
+
+// Fit implements timeseries.Predictor.
+func (p *WindowPredictor) Fit(train *timeseries.Series) error {
+	if err := train.Validate(); err != nil {
+		return err
+	}
+	inputs, targets, err := timeseries.Window(train, p.Window, p.Horizon)
+	if err != nil {
+		return err
+	}
+	if len(inputs) == 0 {
+		return fmt.Errorf("svr: training series of %d too short for window %d + horizon %d",
+			train.Len(), p.Window, p.Horizon)
+	}
+	dim := train.FeatureDim()
+	// Fit one scaler per feature dimension over the training series.
+	p.featScalers = make([]stats.StandardScaler, dim)
+	for d := 0; d < dim; d++ {
+		col := make([]float64, train.Len())
+		for i, pt := range train.Points {
+			col[i] = pt.Features[d]
+		}
+		p.featScalers[d] = stats.FitStandard(col)
+	}
+	p.tgtScaler = stats.FitStandard(train.Targets())
+
+	x := make([][]float64, len(inputs))
+	y := make([]float64, len(targets))
+	for i, win := range inputs {
+		x[i] = p.flatten(win)
+		y[i] = p.tgtScaler.Transform(targets[i])
+	}
+	if err := p.Model.FitXY(x, y); err != nil {
+		return err
+	}
+	p.fitted = true
+	return nil
+}
+
+// flatten scales and concatenates a window of feature vectors.
+func (p *WindowPredictor) flatten(win [][]float64) []float64 {
+	out := make([]float64, 0, len(win)*len(p.featScalers))
+	for _, step := range win {
+		for d, v := range step {
+			out = append(out, p.featScalers[d].Transform(v))
+		}
+	}
+	return out
+}
+
+// Predict implements timeseries.Predictor.
+func (p *WindowPredictor) Predict(recent *timeseries.Series, horizon int) (float64, error) {
+	if !p.fitted {
+		return 0, timeseries.ErrNotFitted
+	}
+	if horizon != p.Horizon {
+		return 0, fmt.Errorf("svr: fitted for horizon %d, asked for %d", p.Horizon, horizon)
+	}
+	n := recent.Len()
+	if n < p.Window {
+		return 0, timeseries.ErrShortContext
+	}
+	win := make([][]float64, p.Window)
+	for t := 0; t < p.Window; t++ {
+		win[t] = recent.Points[n-p.Window+t].Features
+	}
+	z := p.Model.PredictXY(p.flatten(win))
+	return p.tgtScaler.Inverse(z), nil
+}

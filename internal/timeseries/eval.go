@@ -1,0 +1,142 @@
+package timeseries
+
+import (
+	"fmt"
+
+	"predstream/internal/stats"
+)
+
+// EvalResult holds a model's walk-forward forecasts on the test span along
+// with the aligned actuals and the standard error metrics.
+type EvalResult struct {
+	Model     string
+	Actual    []float64
+	Predicted []float64
+	Report    stats.Report
+}
+
+// WalkForward performs the standard rolling-origin evaluation: the model is
+// fitted once on series[:trainLen], then for every index i in
+// [trainLen, len-horizon] it predicts the target at i+horizon-1 from the
+// context ending at i-1. This mirrors how the paper's controller consumes
+// predictions (always forecasting the next measurement window from live
+// history).
+func WalkForward(p Predictor, series *Series, trainLen, horizon int) (*EvalResult, error) {
+	if err := series.Validate(); err != nil {
+		return nil, err
+	}
+	n := series.Len()
+	if trainLen <= 0 || trainLen >= n {
+		return nil, fmt.Errorf("timeseries: trainLen %d out of range for series of %d", trainLen, n)
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("timeseries: non-positive horizon %d", horizon)
+	}
+	if trainLen < p.MinContext() {
+		return nil, fmt.Errorf("timeseries: trainLen %d below model MinContext %d", trainLen, p.MinContext())
+	}
+	if err := p.Fit(series.Slice(0, trainLen)); err != nil {
+		return nil, fmt.Errorf("timeseries: fit %s: %w", p.Name(), err)
+	}
+	res := &EvalResult{Model: p.Name()}
+	for i := trainLen; i+horizon-1 < n; i++ {
+		ctx := series.Slice(0, i)
+		pred, err := p.Predict(ctx, horizon)
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: predict %s at %d: %w", p.Name(), i, err)
+		}
+		res.Predicted = append(res.Predicted, pred)
+		res.Actual = append(res.Actual, series.Points[i+horizon-1].Target)
+	}
+	res.Report = stats.Evaluate(p.Name(), res.Actual, res.Predicted)
+	return res, nil
+}
+
+// Compare runs WalkForward for several predictors on the same series and
+// split, returning results in input order. This is the E1/E2 harness.
+func Compare(models []Predictor, series *Series, trainLen, horizon int) ([]*EvalResult, error) {
+	out := make([]*EvalResult, 0, len(models))
+	for _, m := range models {
+		r, err := WalkForward(m, series, trainLen, horizon)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Window extracts sliding windows for supervised training: for each valid
+// position it yields (features of w consecutive points, target at
+// position+w+horizon-1). Models with internal windowing (DRNN, SVR) build
+// their datasets through this helper so train and eval windows agree.
+func Window(series *Series, w, horizon int) (inputs [][][]float64, targets []float64, err error) {
+	if w <= 0 || horizon <= 0 {
+		return nil, nil, fmt.Errorf("timeseries: invalid window %d or horizon %d", w, horizon)
+	}
+	n := series.Len()
+	for start := 0; start+w+horizon-1 < n; start++ {
+		win := make([][]float64, w)
+		for t := 0; t < w; t++ {
+			win[t] = series.Points[start+t].Features
+		}
+		inputs = append(inputs, win)
+		targets = append(targets, series.Points[start+w+horizon-1].Target)
+	}
+	return inputs, targets, nil
+}
+
+// NaivePredictor forecasts the last observed target (persistence model), a
+// common sanity baseline.
+type NaivePredictor struct{ fitted bool }
+
+// Name implements Predictor.
+func (n *NaivePredictor) Name() string { return "Naive" }
+
+// Fit implements Predictor.
+func (n *NaivePredictor) Fit(*Series) error { n.fitted = true; return nil }
+
+// MinContext implements Predictor.
+func (n *NaivePredictor) MinContext() int { return 1 }
+
+// Predict implements Predictor.
+func (n *NaivePredictor) Predict(recent *Series, horizon int) (float64, error) {
+	if !n.fitted {
+		return 0, ErrNotFitted
+	}
+	if recent.Len() < 1 {
+		return 0, ErrShortContext
+	}
+	return recent.Points[recent.Len()-1].Target, nil
+}
+
+// MeanPredictor forecasts the training-set mean, the weakest reasonable
+// baseline (equivalent to R²=0).
+type MeanPredictor struct {
+	mean   float64
+	fitted bool
+}
+
+// Name implements Predictor.
+func (m *MeanPredictor) Name() string { return "Mean" }
+
+// Fit implements Predictor.
+func (m *MeanPredictor) Fit(train *Series) error {
+	if train.Len() == 0 {
+		return fmt.Errorf("timeseries: empty training series")
+	}
+	m.mean = stats.Mean(train.Targets())
+	m.fitted = true
+	return nil
+}
+
+// MinContext implements Predictor.
+func (m *MeanPredictor) MinContext() int { return 1 }
+
+// Predict implements Predictor.
+func (m *MeanPredictor) Predict(*Series, int) (float64, error) {
+	if !m.fitted {
+		return 0, ErrNotFitted
+	}
+	return m.mean, nil
+}

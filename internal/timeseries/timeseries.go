@@ -1,0 +1,98 @@
+// Package timeseries defines the common predictor contract the DRNN, ARIMA
+// and SVR models implement, plus the windowing and walk-forward evaluation
+// harness the accuracy experiments (E1/E2/E9) run on.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+
+	"predstream/internal/stats"
+)
+
+// Point is one multivariate observation: the feature vector visible to the
+// predictor at that step and the scalar target to forecast. For univariate
+// models the target series alone is used.
+type Point struct {
+	Features []float64
+	Target   float64
+}
+
+// Series is an ordered sequence of observations at a fixed sampling period.
+type Series struct {
+	Points []Point
+}
+
+// Len returns the number of observations.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Targets returns the target values as a slice.
+func (s *Series) Targets() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Target
+	}
+	return out
+}
+
+// FeatureDim returns the feature vector width, or 0 for an empty series.
+func (s *Series) FeatureDim() int {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return len(s.Points[0].Features)
+}
+
+// Validate checks that every point has the same feature width and all
+// values are finite.
+func (s *Series) Validate() error {
+	dim := s.FeatureDim()
+	for i, p := range s.Points {
+		if len(p.Features) != dim {
+			return fmt.Errorf("timeseries: point %d has %d features, want %d", i, len(p.Features), dim)
+		}
+		if !stats.IsFiniteSeries(p.Features) || !stats.IsFiniteSeries([]float64{p.Target}) {
+			return fmt.Errorf("timeseries: point %d contains non-finite values", i)
+		}
+	}
+	return nil
+}
+
+// FromTargets builds a univariate series whose features equal the target
+// (the form ARIMA-style models consume).
+func FromTargets(targets []float64) *Series {
+	s := &Series{Points: make([]Point, len(targets))}
+	for i, t := range targets {
+		s.Points[i] = Point{Features: []float64{t}, Target: t}
+	}
+	return s
+}
+
+// Slice returns the sub-series [lo, hi).
+func (s *Series) Slice(lo, hi int) *Series {
+	return &Series{Points: s.Points[lo:hi]}
+}
+
+// Predictor is a performance-prediction model. Fit trains on a historical
+// series; Predict returns the forecast `horizon` steps past the end of the
+// given context window (horizon=1 is the next step).
+type Predictor interface {
+	// Name identifies the model in reports ("DRNN", "ARIMA", "SVR").
+	Name() string
+	// Fit trains the model on the series.
+	Fit(train *Series) error
+	// Predict forecasts the target `horizon` steps after the last point of
+	// recent, which supplies the context window (its tail is used; it must
+	// contain at least MinContext points).
+	Predict(recent *Series, horizon int) (float64, error)
+	// MinContext returns the minimum number of trailing points Predict
+	// needs.
+	MinContext() int
+}
+
+// ErrShortContext is returned by Predict implementations given fewer than
+// MinContext points.
+var ErrShortContext = errors.New("timeseries: context shorter than MinContext")
+
+// ErrNotFitted is returned by Predict before a successful Fit.
+var ErrNotFitted = errors.New("timeseries: model not fitted")

@@ -1,0 +1,159 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+)
+
+func lineSeries(n int) *Series {
+	targets := make([]float64, n)
+	for i := range targets {
+		targets[i] = float64(i)
+	}
+	return FromTargets(targets)
+}
+
+func TestFromTargetsAndAccessors(t *testing.T) {
+	s := FromTargets([]float64{1, 2, 3})
+	if s.Len() != 3 || s.FeatureDim() != 1 {
+		t.Fatalf("Len=%d dim=%d", s.Len(), s.FeatureDim())
+	}
+	targets := s.Targets()
+	if targets[2] != 3 {
+		t.Fatalf("Targets = %v", targets)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sub := s.Slice(1, 3)
+	if sub.Len() != 2 || sub.Points[0].Target != 2 {
+		t.Fatalf("Slice = %+v", sub.Points)
+	}
+}
+
+func TestValidateCatchesBadSeries(t *testing.T) {
+	s := &Series{Points: []Point{
+		{Features: []float64{1, 2}, Target: 1},
+		{Features: []float64{1}, Target: 2},
+	}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("ragged features should fail validation")
+	}
+	nan := &Series{Points: []Point{{Features: []float64{math.NaN()}, Target: 1}}}
+	if err := nan.Validate(); err == nil {
+		t.Fatal("NaN feature should fail validation")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	s := lineSeries(6) // targets 0..5
+	inputs, targets, err := Window(s, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// windows: [0,1]→2, [1,2]→3, [2,3]→4, [3,4]→5.
+	if len(inputs) != 4 || len(targets) != 4 {
+		t.Fatalf("got %d windows", len(inputs))
+	}
+	if targets[0] != 2 || targets[3] != 5 {
+		t.Fatalf("targets = %v", targets)
+	}
+	if inputs[1][0][0] != 1 || inputs[1][1][0] != 2 {
+		t.Fatalf("window 1 = %v", inputs[1])
+	}
+	// horizon 2 shifts targets one further.
+	_, t2, err := Window(s, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2[0] != 3 {
+		t.Fatalf("horizon-2 first target = %v", t2[0])
+	}
+	if _, _, err := Window(s, 0, 1); err == nil {
+		t.Fatal("zero window should error")
+	}
+}
+
+func TestNaivePredictor(t *testing.T) {
+	p := &NaivePredictor{}
+	if _, err := p.Predict(lineSeries(3), 1); err != ErrNotFitted {
+		t.Fatalf("expected ErrNotFitted, got %v", err)
+	}
+	if err := p.Fit(lineSeries(3)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Predict(lineSeries(5), 1)
+	if err != nil || got != 4 {
+		t.Fatalf("naive = %v, %v", got, err)
+	}
+	if _, err := p.Predict(&Series{}, 1); err != ErrShortContext {
+		t.Fatalf("expected ErrShortContext, got %v", err)
+	}
+}
+
+func TestMeanPredictor(t *testing.T) {
+	p := &MeanPredictor{}
+	if _, err := p.Predict(nil, 1); err != ErrNotFitted {
+		t.Fatal("expected ErrNotFitted")
+	}
+	if err := p.Fit(FromTargets([]float64{2, 4, 6})); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p.Predict(nil, 1)
+	if got != 4 {
+		t.Fatalf("mean = %v", got)
+	}
+	if err := p.Fit(&Series{}); err == nil {
+		t.Fatal("empty fit should error")
+	}
+}
+
+func TestWalkForwardNaiveOnLine(t *testing.T) {
+	// Persistence on a unit-slope line is always off by exactly horizon.
+	s := lineSeries(20)
+	res, err := WalkForward(&NaivePredictor{}, s, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Actual) != 10 {
+		t.Fatalf("evaluated %d points", len(res.Actual))
+	}
+	if math.Abs(res.Report.MAE-1) > 1e-12 {
+		t.Fatalf("MAE = %v want 1", res.Report.MAE)
+	}
+	res3, err := WalkForward(&NaivePredictor{}, s, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res3.Report.MAE-3) > 1e-12 {
+		t.Fatalf("horizon-3 MAE = %v want 3", res3.Report.MAE)
+	}
+}
+
+func TestWalkForwardValidation(t *testing.T) {
+	s := lineSeries(10)
+	if _, err := WalkForward(&NaivePredictor{}, s, 0, 1); err == nil {
+		t.Fatal("trainLen 0 should error")
+	}
+	if _, err := WalkForward(&NaivePredictor{}, s, 10, 1); err == nil {
+		t.Fatal("trainLen == len should error")
+	}
+	if _, err := WalkForward(&NaivePredictor{}, s, 5, 0); err == nil {
+		t.Fatal("horizon 0 should error")
+	}
+}
+
+func TestCompareOrdersResults(t *testing.T) {
+	s := lineSeries(20)
+	res, err := Compare([]Predictor{&MeanPredictor{}, &NaivePredictor{}}, s, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Model != "Mean" || res[1].Model != "Naive" {
+		t.Fatalf("Compare order wrong: %v %v", res[0].Model, res[1].Model)
+	}
+	// Naive beats mean on a trending line.
+	if res[1].Report.MAE >= res[0].Report.MAE {
+		t.Fatalf("naive MAE %v should beat mean MAE %v", res[1].Report.MAE, res[0].Report.MAE)
+	}
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"predstream/internal/telemetry"
+)
+
+// csvHeader is the stable column order of the trace CSV format.
+var csvHeader = []string{
+	"worker", "node", "start_unix_ns", "end_unix_ns",
+	"exec_rate", "emit_rate", "avg_exec_ms", "avg_queue_ms", "queue_len",
+	"misbehaving", "co_workers", "co_exec_rate", "co_avg_exec_ms", "node_busy",
+}
+
+// WriteCSV serializes per-worker window traces to CSV (one row per
+// window, workers sorted, windows in order), so traces collected from
+// long live runs can be archived and re-used for predictor training.
+func WriteCSV(w io.Writer, traces map[string][]telemetry.WindowStats) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	workers := make([]string, 0, len(traces))
+	for id := range traces {
+		workers = append(workers, id)
+	}
+	sort.Strings(workers)
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, id := range workers {
+		for _, win := range traces[id] {
+			row := []string{
+				win.WorkerID, win.NodeID,
+				strconv.FormatInt(win.Start.UnixNano(), 10),
+				strconv.FormatInt(win.End.UnixNano(), 10),
+				f(win.ExecRate), f(win.EmitRate), f(win.AvgExecMs), f(win.AvgQueueMs), f(win.QueueLen),
+				strconv.FormatBool(win.Misbehaving),
+				f(win.CoWorkers), f(win.CoExecRate), f(win.CoAvgExecMs), f(win.NodeBusy),
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("trace: write row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (map[string][]telemetry.WindowStats, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("trace: header has %d columns, want %d", len(header), len(csvHeader))
+	}
+	for i, col := range csvHeader {
+		if header[i] != col {
+			return nil, fmt.Errorf("trace: column %d is %q, want %q", i, header[i], col)
+		}
+	}
+	out := map[string][]telemetry.WindowStats{}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		win, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out[win.WorkerID] = append(out[win.WorkerID], win)
+	}
+	return out, nil
+}
+
+func parseRow(row []string) (telemetry.WindowStats, error) {
+	var win telemetry.WindowStats
+	win.WorkerID = row[0]
+	win.NodeID = row[1]
+	startNs, err := strconv.ParseInt(row[2], 10, 64)
+	if err != nil {
+		return win, fmt.Errorf("start: %w", err)
+	}
+	endNs, err := strconv.ParseInt(row[3], 10, 64)
+	if err != nil {
+		return win, fmt.Errorf("end: %w", err)
+	}
+	win.Start = time.Unix(0, startNs)
+	win.End = time.Unix(0, endNs)
+	floats := []*float64{
+		&win.ExecRate, &win.EmitRate, &win.AvgExecMs, &win.AvgQueueMs, &win.QueueLen,
+	}
+	for i, dst := range floats {
+		v, err := strconv.ParseFloat(row[4+i], 64)
+		if err != nil {
+			return win, fmt.Errorf("%s: %w", csvHeader[4+i], err)
+		}
+		*dst = v
+	}
+	win.Misbehaving, err = strconv.ParseBool(row[9])
+	if err != nil {
+		return win, fmt.Errorf("misbehaving: %w", err)
+	}
+	tail := []*float64{&win.CoWorkers, &win.CoExecRate, &win.CoAvgExecMs, &win.NodeBusy}
+	for i, dst := range tail {
+		v, err := strconv.ParseFloat(row[10+i], 64)
+		if err != nil {
+			return win, fmt.Errorf("%s: %w", csvHeader[10+i], err)
+		}
+		*dst = v
+	}
+	return win, nil
+}

@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race ci bench bench-train
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrent packages: the data-parallel
+# training engine (internal/nn) and the stream engine (internal/dsps).
+race:
+	$(GO) test -race ./internal/nn/... ./internal/dsps/...
+
+ci:
+	sh scripts/ci.sh
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Training-engine throughput: serial vs 2/4/8 workers. Numbers are recorded
+# in BENCH_train.json.
+bench-train:
+	$(GO) test -run xxx -bench 'BenchmarkTrain(Serial|Parallel)' -benchmem .

@@ -10,10 +10,13 @@
 package main
 
 import (
+	"math"
+	"math/rand"
 	"testing"
 	"time"
 
 	"predstream/internal/experiments"
+	"predstream/internal/nn"
 )
 
 func benchAccuracy(b *testing.B, app experiments.AppProfile) {
@@ -71,7 +74,7 @@ func BenchmarkE3Overlay(b *testing.B) {
 func BenchmarkE4Ablation(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunAblation(300, 40, 1)
+		res, err := experiments.RunAblation(300, 40, 1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -210,6 +213,70 @@ func BenchmarkE12CrossTopologyInterference(b *testing.B) {
 		}
 	}
 }
+
+// benchTrain measures one training epoch of the paper-regime DRNN network
+// (window 10-sized sequences, LSTM 32+32, dense 16) over a 128-example set
+// with mini-batches of 32, at the given worker count. The network is built
+// once so steady-state workspace reuse is what gets measured; examples/s is
+// reported so worker counts compare directly.
+//
+// NOTE: parallel speedup only materializes with GOMAXPROCS > 1; on a
+// single-CPU host the worker variants measure scheduling overhead (see
+// BENCH_train.json for recorded numbers and context).
+func benchTrain(b *testing.B, workers int) {
+	const (
+		examples = 128
+		seqLen   = 20
+		features = 12
+	)
+	rng := rand.New(rand.NewSource(1))
+	ds := nn.Dataset{}
+	for i := 0; i < examples; i++ {
+		seq := make([][]float64, seqLen)
+		var sum float64
+		for t := range seq {
+			x := make([]float64, features)
+			for j := range x {
+				x[j] = rng.NormFloat64() * 0.5
+				sum += x[j]
+			}
+			seq[t] = x
+		}
+		ds.X = append(ds.X, seq)
+		ds.Y = append(ds.Y, []float64{math.Tanh(sum / (seqLen * features))})
+	}
+	net := nn.NewNetwork(nn.Arch{
+		In: features, LSTMHidden: []int{32, 32}, DenseHidden: []int{16}, Out: 1,
+	}, rng)
+	cfg := nn.TrainConfig{
+		Epochs:    1,
+		Optimizer: nn.NewAdam(1e-3),
+		Loss:      nn.MSE{},
+		BatchSize: 32,
+		Workers:   workers,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nn.Train(net, ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(examples)*float64(b.N)/b.Elapsed().Seconds(), "examples/s")
+}
+
+// BenchmarkTrainSerial is the one-worker baseline for the data-parallel
+// training engine.
+func BenchmarkTrainSerial(b *testing.B) { benchTrain(b, 1) }
+
+// BenchmarkTrainParallel2/4/8 fan each mini-batch out over N replicas; the
+// loss curve is bitwise-identical to serial (see DESIGN.md, "Training
+// engine"), so these differ from BenchmarkTrainSerial only in wall-clock.
+func BenchmarkTrainParallel2(b *testing.B) { benchTrain(b, 2) }
+
+func BenchmarkTrainParallel4(b *testing.B) { benchTrain(b, 4) }
+
+func BenchmarkTrainParallel8(b *testing.B) { benchTrain(b, 8) }
 
 // BenchmarkE11PolicyAblation regenerates E11, the planner-policy ablation,
 // reporting retained throughput per policy with one misbehaving worker.

@@ -29,6 +29,7 @@ func main() {
 	epochs := fs.Int("epochs", 40, "DRNN training epochs")
 	seed := fs.Int64("seed", 1, "random seed")
 	horizon := fs.Int("horizon", 1, "forecast horizon in windows")
+	workers := fs.Int("workers", 0, "DRNN training workers per mini-batch (0 = all CPUs; results are worker-count invariant)")
 	measure := fs.Duration("measure", 3*time.Second, "measurement interval (reliability)")
 	warmup := fs.Duration("warmup", 2*time.Second, "warmup before measurement (reliability)")
 	outDir := fs.String("out", "", "also write each experiment's series as CSV into this directory")
@@ -41,7 +42,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	acc := experiments.AccuracyConfig{Steps: *steps, Epochs: *epochs, Seed: *seed, Horizon: *horizon}
+	acc := experiments.AccuracyConfig{Steps: *steps, Epochs: *epochs, Seed: *seed, Horizon: *horizon, Workers: *workers}
 
 	type csver interface{ CSV() [][]string }
 	run := func(name string) error {
@@ -74,7 +75,7 @@ func main() {
 			}
 		case "e4":
 			var r *experiments.AblationResult
-			if r, err = experiments.RunAblation(*steps, *epochs, *seed); err == nil {
+			if r, err = experiments.RunAblation(*steps, *epochs, *seed, *workers); err == nil {
 				result = r
 				fmt.Print(r.Render())
 			}

@@ -40,6 +40,8 @@ func main() {
 	target := flag.String("target", "proctime", "prediction target: proctime or throughput")
 	noInterference := flag.Bool("no-interference", false, "drop co-located-worker features")
 	cell := flag.String("cell", "lstm", "DRNN recurrent cell: lstm or gru")
+	batch := flag.Int("batch", 0, "DRNN mini-batch size (0/1 = pure SGD)")
+	workers := flag.Int("workers", 0, "DRNN training workers per mini-batch (0 = all CPUs; results are worker-count invariant)")
 	sarimaPeriod := flag.Int("sarima-period", 0, "also compare a SARIMA(1,0,1)(1,0,0)_s baseline at this seasonal period")
 	allWorkers := flag.Bool("all-workers", false, "evaluate over every worker's series, pooling the walk-forward residuals")
 	savePath := flag.String("save", "", "write the fitted DRNN checkpoint to this path")
@@ -107,6 +109,7 @@ func main() {
 
 	model := drnn.New(drnn.Config{
 		Window: *window, Horizon: *horizon, Epochs: *epochs, Seed: *seed, Cell: *cell,
+		BatchSize: *batch, Workers: *workers,
 	})
 	models := []timeseries.Predictor{model}
 	if *loadPath != "" {
@@ -127,6 +130,7 @@ func main() {
 		func() timeseries.Predictor {
 			return drnn.New(drnn.Config{
 				Window: *window, Horizon: *horizon, Epochs: *epochs, Seed: *seed, Cell: *cell,
+				BatchSize: *batch, Workers: *workers,
 			})
 		},
 		func() timeseries.Predictor { return arima.New(3, 0, 1) },

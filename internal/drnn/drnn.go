@@ -43,6 +43,11 @@ type Config struct {
 	ValFraction float64
 	Patience    int   // early-stopping patience in epochs; default 8; <0 disables
 	Seed        int64 // rng seed for init and shuffling; default 1
+	// Workers is the number of concurrent workers evaluating each training
+	// mini-batch; 0 (default) uses all CPUs, 1 forces serial. The fitted
+	// model is bitwise-identical for any value (see DESIGN.md, "Training
+	// engine"), so this is purely a throughput knob.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -178,6 +183,7 @@ func (p *Predictor) Fit(train *timeseries.Series) error {
 		Shuffle:   true,
 		Rng:       rng,
 		Patience:  p.cfg.Patience,
+		Workers:   p.cfg.Workers,
 	}
 	if p.cfg.ValFraction > 0 {
 		// Hold out the trailing windows (the most recent — time-series

@@ -68,6 +68,11 @@ type AccuracyConfig struct {
 	Worker string
 	// Epochs overrides DRNN training epochs; default 40.
 	Epochs int
+	// Workers is the DRNN training worker count; 0 uses all CPUs. Results
+	// are worker-count invariant (it changes only wall-clock time), so
+	// experiment outputs stay reproducible for any value. Parallelism is
+	// per mini-batch, so it only pays off with Config.BatchSize > 1.
+	Workers int
 }
 
 func (c AccuracyConfig) withDefaults() AccuracyConfig {
@@ -149,7 +154,7 @@ func RunAccuracy(cfg AccuracyConfig) (*AccuracyResult, error) {
 		drnn.New(drnn.Config{
 			Window: cfg.Window, Horizon: cfg.Horizon,
 			Hidden: []int{32, 32}, DenseHidden: []int{16},
-			Epochs: cfg.Epochs, Seed: cfg.Seed,
+			Epochs: cfg.Epochs, Seed: cfg.Seed, Workers: cfg.Workers,
 		}),
 		arima.New(3, 0, 1),
 		svr.NewWindowPredictor(cfg.Window, cfg.Horizon, &svr.SVR{C: 10, Eps: 0.05, MaxIter: 200}),
@@ -221,8 +226,9 @@ func (r *AblationResult) Render() string {
 
 // RunAblation executes E4 on a trace with strong co-location interference:
 // DRNN with vs without co-located-worker features, and 1 vs 2 recurrent
-// layers. epochs <= 0 defaults to 60.
-func RunAblation(steps, epochs int, seed int64) (*AblationResult, error) {
+// layers. epochs <= 0 defaults to 60; workers is the training worker count
+// (0 uses all CPUs; it does not affect the results).
+func RunAblation(steps, epochs int, seed int64, workers int) (*AblationResult, error) {
 	if steps <= 0 {
 		steps = 500
 	}
@@ -254,11 +260,11 @@ func RunAblation(steps, epochs int, seed int64) (*AblationResult, error) {
 		SpikeProb:       0.005,
 		Steps:           steps, Seed: seed,
 	})
-	workers := make([]string, 0, len(traces))
+	workerIDs := make([]string, 0, len(traces))
 	for id := range traces {
-		workers = append(workers, id)
+		workerIDs = append(workerIDs, id)
 	}
-	sort.Strings(workers)
+	sort.Strings(workerIDs)
 	type variant struct {
 		name         string
 		interference bool
@@ -276,11 +282,11 @@ func RunAblation(steps, epochs int, seed int64) (*AblationResult, error) {
 		// over 4× the evaluation points — a single worker's series is too
 		// noisy to separate the variants reliably.
 		var actual, pred []float64
-		for _, id := range workers {
+		for _, id := range workerIDs {
 			series := telemetry.ToSeries(traces[id], telemetry.TargetProcTime, telemetry.FeatureConfig{Interference: v.interference})
 			model := drnn.New(drnn.Config{
 				Window: 10, Hidden: v.hidden, DenseHidden: []int{16},
-				Epochs: epochs, Patience: -1, Seed: seed,
+				Epochs: epochs, Patience: -1, Seed: seed, Workers: workers,
 			})
 			res, err := timeseries.WalkForward(model, series, series.Len()*7/10, 1)
 			if err != nil {
@@ -321,7 +327,7 @@ func RunConvergence(cfg AccuracyConfig) (*ConvergenceResult, error) {
 	series := telemetry.ToSeries(traces[cfg.Worker], telemetry.TargetProcTime, telemetry.FeatureConfig{Interference: true})
 	model := drnn.New(drnn.Config{
 		Window: cfg.Window, Hidden: []int{32, 32}, DenseHidden: []int{16},
-		Epochs: cfg.Epochs, Seed: cfg.Seed, Patience: -1,
+		Epochs: cfg.Epochs, Seed: cfg.Seed, Patience: -1, Workers: cfg.Workers,
 	})
 	trainLen := series.Len() * 7 / 10
 	if err := model.Fit(series.Slice(0, trainLen)); err != nil {
@@ -379,7 +385,7 @@ func RunSensitivity(cfg AccuracyConfig, windows, horizons []int) (*SensitivityRe
 			model := drnn.New(drnn.Config{
 				Window: w, Horizon: h,
 				Hidden: []int{24}, DenseHidden: []int{12},
-				Epochs: 25, Seed: cfg.Seed,
+				Epochs: 25, Seed: cfg.Seed, Workers: cfg.Workers,
 			})
 			res, err := timeseries.WalkForward(model, series, trainLen, h)
 			if err != nil {

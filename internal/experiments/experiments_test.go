@@ -81,7 +81,7 @@ func TestRunOverlay(t *testing.T) {
 }
 
 func TestRunAblationShape(t *testing.T) {
-	res, err := RunAblation(260, 30, 1)
+	res, err := RunAblation(260, 30, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -272,6 +272,41 @@ func (m *Dense) MulVec(v []float64) []float64 {
 	return out
 }
 
+// MulVecTo computes dst = m × v in place, returning dst. It is the
+// allocation-free variant of MulVec for hot paths that own a reusable
+// output buffer. len(v) must equal m.Cols and len(dst) must equal m.Rows.
+func (m *Dense) MulVecTo(dst, v []float64) []float64 {
+	if len(v) != m.cols || len(dst) != m.rows {
+		panic(fmt.Sprintf("mat: MulVecTo got dst %d, v %d for %dx%d", len(dst), len(v), m.rows, m.cols))
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// MulVecAdd computes dst += m × v in place, returning dst. Dimensions as
+// in MulVecTo.
+func (m *Dense) MulVecAdd(dst, v []float64) []float64 {
+	if len(v) != m.cols || len(dst) != m.rows {
+		panic(fmt.Sprintf("mat: MulVecAdd got dst %d, v %d for %dx%d", len(dst), len(v), m.rows, m.cols))
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		dst[i] += s
+	}
+	return dst
+}
+
 // Norm returns the Frobenius norm of m.
 func (m *Dense) Norm() float64 {
 	var s float64

@@ -1,0 +1,67 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMulVecToMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := New(5, 3).RandUniform(rng, 1)
+	v := []float64{0.5, -1.25, 2}
+	want := m.MulVec(v)
+	dst := make([]float64, 5)
+	got := m.MulVecTo(dst, v)
+	if &got[0] != &dst[0] {
+		t.Fatal("MulVecTo did not return dst")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MulVecTo[%d] = %v want %v", i, got[i], want[i])
+		}
+	}
+	// MulVecTo overwrites stale contents.
+	for i := range dst {
+		dst[i] = 99
+	}
+	m.MulVecTo(dst, v)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MulVecTo did not overwrite dst[%d]", i)
+		}
+	}
+}
+
+func TestMulVecAddAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := New(4, 2).RandUniform(rng, 1)
+	v := []float64{1.5, -0.5}
+	base := []float64{1, 2, 3, 4}
+	dst := append([]float64(nil), base...)
+	m.MulVecAdd(dst, v)
+	prod := m.MulVec(v)
+	for i := range dst {
+		if dst[i] != base[i]+prod[i] {
+			t.Fatalf("MulVecAdd[%d] = %v want %v", i, dst[i], base[i]+prod[i])
+		}
+	}
+}
+
+func TestMulVecToDimensionChecks(t *testing.T) {
+	m := New(3, 2)
+	for _, fn := range []func(){
+		func() { m.MulVecTo(make([]float64, 3), make([]float64, 3)) },
+		func() { m.MulVecTo(make([]float64, 2), make([]float64, 2)) },
+		func() { m.MulVecAdd(make([]float64, 3), make([]float64, 1)) },
+		func() { m.MulVecAdd(make([]float64, 4), make([]float64, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("dimension mismatch did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -9,7 +9,9 @@ import (
 
 // Dense is a fully connected layer y = act(Wx + b). It caches its last
 // input and output for the backward pass, so a layer instance processes one
-// example at a time (the training loops here are purely stochastic).
+// example at a time (the training loops here are purely stochastic). All
+// per-example buffers are preallocated; Forward and Backward return slices
+// that alias them and stay valid until the next call.
 type Dense struct {
 	In, Out int
 	Act     Activation
@@ -19,6 +21,9 @@ type Dense struct {
 
 	lastIn  []float64
 	lastOut []float64
+	delta   []float64
+	dx      []float64
+	seen    bool
 }
 
 // NewDense builds a Dense layer with Xavier-initialized weights (He for
@@ -33,62 +38,87 @@ func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
 	} else {
 		w.RandXavier(rng)
 	}
-	return &Dense{
+	d := &Dense{
 		In:  in,
 		Out: out,
 		Act: act,
 		w:   newParam("dense.w", w),
 		b:   newParam("dense.b", mat.New(out, 1)),
 	}
+	d.initWorkspace()
+	return d
 }
 
-// Forward computes the layer output for x, caching what Backward needs.
+func (d *Dense) initWorkspace() {
+	d.lastIn = make([]float64, d.In)
+	d.lastOut = make([]float64, d.Out)
+	d.delta = make([]float64, d.Out)
+	d.dx = make([]float64, d.In)
+}
+
+// Replicate returns a copy sharing this layer's weight matrices but owning
+// its own gradient accumulators and workspace, for concurrent mini-batch
+// workers.
+func (d *Dense) Replicate() *Dense {
+	r := &Dense{
+		In:  d.In,
+		Out: d.Out,
+		Act: d.Act,
+		w:   d.w.shareWeights(),
+		b:   d.b.shareWeights(),
+	}
+	r.initWorkspace()
+	return r
+}
+
+// Forward computes the layer output for x, caching what Backward needs. The
+// returned slice aliases the layer workspace.
 func (d *Dense) Forward(x []float64) []float64 {
 	if len(x) != d.In {
 		panic(fmt.Sprintf("nn: dense forward got %d inputs, want %d", len(x), d.In))
 	}
-	d.lastIn = mat.CloneVec(x)
-	z := d.w.W.MulVec(x)
-	out := make([]float64, d.Out)
-	for i := range z {
-		out[i] = d.Act.F(z[i] + d.b.W.At(i, 0))
+	copy(d.lastIn, x)
+	out := d.w.W.MulVecTo(d.lastOut, d.lastIn)
+	bd := d.b.W.Data()
+	for i, z := range out {
+		out[i] = d.Act.F(z + bd[i])
 	}
-	d.lastOut = out
-	return mat.CloneVec(out)
+	d.seen = true
+	return out
 }
 
 // Backward accumulates parameter gradients for the cached example given
-// dOut = ∂L/∂y and returns ∂L/∂x.
+// dOut = ∂L/∂y and returns ∂L/∂x (workspace-backed).
 func (d *Dense) Backward(dOut []float64) []float64 {
 	if len(dOut) != d.Out {
 		panic(fmt.Sprintf("nn: dense backward got %d grads, want %d", len(dOut), d.Out))
 	}
-	if d.lastIn == nil {
+	if !d.seen {
 		panic("nn: dense Backward before Forward")
 	}
 	// δ = dOut ∘ act'(y)
-	delta := make([]float64, d.Out)
+	delta := d.delta
 	for i, g := range dOut {
 		delta[i] = g * d.Act.Deriv(d.lastOut[i])
 	}
-	// dW += δ xᵀ ; db += δ
+	// dW += δ xᵀ ; db += δ ; dx = Wᵀ δ
+	dx := d.dx
+	zeroVec(dx)
+	wGrad := d.w.Grad.Data()
+	wData := d.w.W.Data()
+	bGrad := d.b.Grad.Data()
 	for i, dv := range delta {
 		if dv == 0 {
 			continue
 		}
+		gRow := wGrad[i*d.In : (i+1)*d.In]
 		for j, xv := range d.lastIn {
-			d.w.Grad.Set(i, j, d.w.Grad.At(i, j)+dv*xv)
+			gRow[j] += dv * xv
 		}
-		d.b.Grad.Set(i, 0, d.b.Grad.At(i, 0)+dv)
-	}
-	// dx = Wᵀ δ
-	dx := make([]float64, d.In)
-	for i, dv := range delta {
-		if dv == 0 {
-			continue
-		}
-		for j := 0; j < d.In; j++ {
-			dx[j] += d.w.W.At(i, j) * dv
+		bGrad[i] += dv
+		wRow := wData[i*d.In : (i+1)*d.In]
+		for j, wv := range wRow {
+			dx[j] += wv * dv
 		}
 	}
 	return dx

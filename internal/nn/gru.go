@@ -2,7 +2,6 @@ package nn
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
 	"predstream/internal/mat"
@@ -12,10 +11,12 @@ import (
 // GRU): sequence-in/sequence-out with internal caching for BPTT.
 type Recurrent interface {
 	// ForwardSeq runs the layer over a sequence from zero state and
-	// returns the hidden state per timestep.
+	// returns the hidden state per timestep. The returned slices alias
+	// the layer workspace and stay valid until the next ForwardSeq call.
 	ForwardSeq(seq [][]float64) [][]float64
 	// BackwardSeq backpropagates per-timestep hidden-state gradients,
-	// accumulating parameter gradients and returning input gradients.
+	// accumulating parameter gradients and returning input gradients
+	// (also workspace-backed).
 	BackwardSeq(dH [][]float64) [][]float64
 	// Params returns the learnable parameters.
 	Params() []*Param
@@ -29,6 +30,10 @@ type Recurrent interface {
 	Weights() (wx, wh, b []*mat.Dense)
 	// SetWeights replaces the weights from the serialized form.
 	SetWeights(wx, wh, b []*mat.Dense) error
+	// Replicate returns a copy sharing this layer's weight matrices but
+	// owning its own gradient accumulators and workspace, for concurrent
+	// mini-batch workers.
+	Replicate() Recurrent
 }
 
 // Interface checks.
@@ -47,13 +52,61 @@ const (
 
 var gruGateNames = [numGRUGates]string{"z", "r", "h"}
 
+// gruStep caches one timestep for BPTT; slices are workspace-owned and
+// reused across sequences. The previous hidden state is read from the
+// preceding step's h.
 type gruStep struct {
-	x     []float64
-	hPrev []float64
-	z     []float64
-	r     []float64
-	hHat  []float64
-	a     []float64 // r ∘ hPrev, input to the candidate's recurrent term
+	x    []float64
+	z    []float64
+	r    []float64
+	hHat []float64
+	a    []float64 // r ∘ hPrev, input to the candidate's recurrent term
+	h    []float64
+}
+
+// gruWorkspace mirrors lstmWorkspace for the GRU cell.
+type gruWorkspace struct {
+	steps []gruStep
+	n     int
+	out   [][]float64
+	dX    [][]float64
+
+	zero []float64
+
+	dh, dz, dhHat, dhPrev, dhNext, dhPre, da, dr, dzPre, drPre []float64
+}
+
+func (w *gruWorkspace) init(hidden int) {
+	w.zero = make([]float64, hidden)
+	w.dh = make([]float64, hidden)
+	w.dz = make([]float64, hidden)
+	w.dhHat = make([]float64, hidden)
+	w.dhPrev = make([]float64, hidden)
+	w.dhNext = make([]float64, hidden)
+	w.dhPre = make([]float64, hidden)
+	w.da = make([]float64, hidden)
+	w.dr = make([]float64, hidden)
+	w.dzPre = make([]float64, hidden)
+	w.drPre = make([]float64, hidden)
+}
+
+func (w *gruWorkspace) ensure(in, hidden, n int) {
+	for len(w.steps) < n {
+		w.steps = append(w.steps, gruStep{
+			x:    make([]float64, in),
+			z:    make([]float64, hidden),
+			r:    make([]float64, hidden),
+			hHat: make([]float64, hidden),
+			a:    make([]float64, hidden),
+			h:    make([]float64, hidden),
+		})
+		w.dX = append(w.dX, make([]float64, in))
+	}
+	if cap(w.out) < n {
+		w.out = make([][]float64, n)
+	}
+	w.out = w.out[:n]
+	w.n = n
 }
 
 // GRU is a gated recurrent unit layer (Cho et al. 2014), the lighter
@@ -66,7 +119,7 @@ type GRU struct {
 	wh [numGRUGates]*Param // Hidden×Hidden
 	b  [numGRUGates]*Param // Hidden×1
 
-	steps []gruStep
+	ws gruWorkspace
 }
 
 // NewGRU builds a GRU layer with Xavier-initialized weights.
@@ -80,7 +133,20 @@ func NewGRU(in, hidden int, rng *rand.Rand) *GRU {
 		g.wh[i] = newParam("gru.wh."+gruGateNames[i], mat.New(hidden, hidden).RandXavier(rng))
 		g.b[i] = newParam("gru.b."+gruGateNames[i], mat.New(hidden, 1))
 	}
+	g.ws.init(hidden)
 	return g
+}
+
+// Replicate implements Recurrent.
+func (g *GRU) Replicate() Recurrent {
+	r := &GRU{In: g.In, Hidden: g.Hidden}
+	for i := 0; i < numGRUGates; i++ {
+		r.wx[i] = g.wx[i].shareWeights()
+		r.wh[i] = g.wh[i].shareWeights()
+		r.b[i] = g.b[i].shareWeights()
+	}
+	r.ws.init(g.Hidden)
+	return r
 }
 
 // InSize implements Recurrent.
@@ -94,94 +160,95 @@ func (g *GRU) CellType() string { return "gru" }
 
 // ForwardSeq implements Recurrent.
 func (g *GRU) ForwardSeq(seq [][]float64) [][]float64 {
-	g.steps = g.steps[:0]
-	h := make([]float64, g.Hidden)
-	out := make([][]float64, len(seq))
+	w := &g.ws
+	w.ensure(g.In, g.Hidden, len(seq))
+	h := w.zero
 	for t, x := range seq {
 		if len(x) != g.In {
 			panic(fmt.Sprintf("nn: gru step %d got %d inputs, want %d", t, len(x), g.In))
 		}
-		st := gruStep{x: mat.CloneVec(x), hPrev: mat.CloneVec(h)}
-		zPre := g.gatePre(gruZ, x, h)
-		rPre := g.gatePre(gruR, x, h)
-		st.z = applyVec(zPre, Sigmoid.F)
-		st.r = applyVec(rPre, Sigmoid.F)
-		st.a = make([]float64, g.Hidden)
+		st := &w.steps[t]
+		copy(st.x, x)
+		g.gatePre(gruZ, st.z, st.x, h)
+		g.gatePre(gruR, st.r, st.x, h)
+		sigmoidVec(st.z)
+		sigmoidVec(st.r)
 		for i := range st.a {
 			st.a[i] = st.r[i] * h[i]
 		}
-		hPre := g.gatePre(gruH, x, st.a)
-		st.hHat = applyVec(hPre, math.Tanh)
-		hNew := make([]float64, g.Hidden)
-		for i := range hNew {
-			hNew[i] = (1-st.z[i])*h[i] + st.z[i]*st.hHat[i]
+		g.gatePre(gruH, st.hHat, st.x, st.a)
+		tanhVec(st.hHat)
+		for i := range st.h {
+			st.h[i] = (1-st.z[i])*h[i] + st.z[i]*st.hHat[i]
 		}
-		g.steps = append(g.steps, st)
-		h = hNew
-		out[t] = mat.CloneVec(hNew)
+		h = st.h
+		w.out[t] = st.h
 	}
-	return out
+	return w.out
 }
 
-// gatePre computes Wx·x + Wh·rec + b for one gate.
-func (g *GRU) gatePre(gate int, x, rec []float64) []float64 {
-	pre := g.wx[gate].W.MulVec(x)
-	hTerm := g.wh[gate].W.MulVec(rec)
-	for i := range pre {
-		pre[i] += hTerm[i] + g.b[gate].W.At(i, 0)
+// gatePre computes dst = Wx·x + Wh·rec + b for one gate, in place.
+func (g *GRU) gatePre(gate int, dst, x, rec []float64) {
+	g.wx[gate].W.MulVecTo(dst, x)
+	g.wh[gate].W.MulVecAdd(dst, rec)
+	bd := g.b[gate].W.Data()
+	for i := range dst {
+		dst[i] += bd[i]
 	}
-	return pre
 }
 
 // BackwardSeq implements Recurrent.
 func (g *GRU) BackwardSeq(dH [][]float64) [][]float64 {
-	if len(dH) != len(g.steps) {
-		panic(fmt.Sprintf("nn: gru backward got %d grads for %d cached steps", len(dH), len(g.steps)))
+	w := &g.ws
+	if len(dH) != w.n {
+		panic(fmt.Sprintf("nn: gru backward got %d grads for %d cached steps", len(dH), w.n))
 	}
-	dX := make([][]float64, len(g.steps))
-	dhNext := make([]float64, g.Hidden)
-	for t := len(g.steps) - 1; t >= 0; t-- {
-		st := &g.steps[t]
-		dh := make([]float64, g.Hidden)
+	dhNext, dhPrev := w.dhNext, w.dhPrev
+	zeroVec(dhNext)
+	for t := w.n - 1; t >= 0; t-- {
+		st := &w.steps[t]
+		hPrev := w.zero
+		if t > 0 {
+			hPrev = w.steps[t-1].h
+		}
+		dh := w.dh
 		for i := range dh {
 			dh[i] = dH[t][i] + dhNext[i]
 		}
 		// h = (1-z)∘hPrev + z∘hHat
-		dz := make([]float64, g.Hidden)
-		dhHat := make([]float64, g.Hidden)
-		dhPrev := make([]float64, g.Hidden)
+		dz, dhHat := w.dz, w.dhHat
 		for i := range dh {
-			dz[i] = dh[i] * (st.hHat[i] - st.hPrev[i])
+			dz[i] = dh[i] * (st.hHat[i] - hPrev[i])
 			dhHat[i] = dh[i] * st.z[i]
 			dhPrev[i] = dh[i] * (1 - st.z[i])
 		}
 		// Candidate path: hHat = tanh(Wh x + Uh a + b), a = r∘hPrev.
-		dhPre := make([]float64, g.Hidden)
+		dhPre := w.dhPre
 		for i := range dhHat {
 			dhPre[i] = dhHat[i] * (1 - st.hHat[i]*st.hHat[i])
 		}
-		dx := make([]float64, g.In)
-		da := make([]float64, g.Hidden)
+		dx := w.dX[t]
+		zeroVec(dx)
+		da := w.da
+		zeroVec(da)
 		g.accumGate(gruH, dhPre, st.x, st.a, dx, da)
-		dr := make([]float64, g.Hidden)
+		dr := w.dr
 		for i := range da {
-			dr[i] = da[i] * st.hPrev[i]
+			dr[i] = da[i] * hPrev[i]
 			dhPrev[i] += da[i] * st.r[i]
 		}
 		// Gate paths.
-		dzPre := make([]float64, g.Hidden)
-		drPre := make([]float64, g.Hidden)
+		dzPre, drPre := w.dzPre, w.drPre
 		for i := range dz {
 			dzPre[i] = dz[i] * st.z[i] * (1 - st.z[i])
 			drPre[i] = dr[i] * st.r[i] * (1 - st.r[i])
 		}
-		g.accumGate(gruZ, dzPre, st.x, st.hPrev, dx, dhPrev)
-		g.accumGate(gruR, drPre, st.x, st.hPrev, dx, dhPrev)
+		g.accumGate(gruZ, dzPre, st.x, hPrev, dx, dhPrev)
+		g.accumGate(gruR, drPre, st.x, hPrev, dx, dhPrev)
 
-		dX[t] = dx
-		dhNext = dhPrev
+		dhNext, dhPrev = dhPrev, dhNext
 	}
-	return dX
+	return w.dX[:w.n]
 }
 
 // accumGate accumulates one gate's weight gradients for pre-activation
@@ -189,6 +256,7 @@ func (g *GRU) BackwardSeq(dH [][]float64) [][]float64 {
 // recurrent-input gradients into dRec.
 func (g *GRU) accumGate(gate int, dPre, x, rec, dx, dRec []float64) {
 	wxG, whG, bG := g.wx[gate], g.wh[gate], g.b[gate]
+	bd := bG.Grad.Data()
 	for i, dv := range dPre {
 		if dv == 0 {
 			continue
@@ -201,7 +269,7 @@ func (g *GRU) accumGate(gate int, dPre, x, rec, dx, dRec []float64) {
 		for j, rv := range rec {
 			whRow[j] += dv * rv
 		}
-		bG.Grad.Set(i, 0, bG.Grad.At(i, 0)+dv)
+		bd[i] += dv
 		wRow := wxG.W.Data()[i*g.In : (i+1)*g.In]
 		for j, wv := range wRow {
 			dx[j] += wv * dv

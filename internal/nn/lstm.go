@@ -19,20 +19,75 @@ const (
 
 var gateNames = [numGates]string{"f", "i", "g", "o"}
 
-// lstmStep caches everything one timestep's backward pass needs.
+// lstmStep caches everything one timestep's backward pass needs. Every
+// slice is owned by the layer workspace and reused across sequences; the
+// previous hidden/cell state is read from the preceding step's buffers
+// instead of being copied.
 type lstmStep struct {
 	x     []float64
-	hPrev []float64
-	cPrev []float64
 	gates [numGates][]float64 // post-activation gate values
 	c     []float64
 	tanhC []float64
 	h     []float64
 }
 
+// lstmWorkspace is the layer's reusable arena: the step cache grows once
+// to the longest sequence seen, and the per-timestep scratch vectors are
+// sized from the hidden dimension at construction, so steady-state
+// ForwardSeq/BackwardSeq allocate nothing.
+type lstmWorkspace struct {
+	steps []lstmStep  // cap grows to the max sequence length seen
+	n     int         // timesteps cached by the last ForwardSeq
+	out   [][]float64 // ForwardSeq return headers, aliasing step.h
+	dX    [][]float64 // BackwardSeq return headers + reused buffers
+
+	zero []float64 // all-zero initial hidden/cell state, read-only
+
+	// Backward scratch, one vector of Hidden each.
+	dh, do_, dc, dcPrev, dhPrev, dhNext, dcNext []float64
+	dz                                          [numGates][]float64
+}
+
+func (w *lstmWorkspace) init(hidden int) {
+	w.zero = make([]float64, hidden)
+	w.dh = make([]float64, hidden)
+	w.do_ = make([]float64, hidden)
+	w.dc = make([]float64, hidden)
+	w.dcPrev = make([]float64, hidden)
+	w.dhPrev = make([]float64, hidden)
+	w.dhNext = make([]float64, hidden)
+	w.dcNext = make([]float64, hidden)
+	for g := 0; g < numGates; g++ {
+		w.dz[g] = make([]float64, hidden)
+	}
+}
+
+// ensure grows the step cache to hold n timesteps for dims (in, hidden).
+func (w *lstmWorkspace) ensure(in, hidden, n int) {
+	for len(w.steps) < n {
+		st := lstmStep{
+			x:     make([]float64, in),
+			c:     make([]float64, hidden),
+			tanhC: make([]float64, hidden),
+			h:     make([]float64, hidden),
+		}
+		for g := 0; g < numGates; g++ {
+			st.gates[g] = make([]float64, hidden)
+		}
+		w.steps = append(w.steps, st)
+		w.dX = append(w.dX, make([]float64, in))
+	}
+	if cap(w.out) < n {
+		w.out = make([][]float64, n)
+	}
+	w.out = w.out[:n]
+	w.n = n
+}
+
 // LSTM is a single recurrent layer with standard LSTM cell dynamics and
 // truncated-BPTT training over whole sequences. Like Dense, one instance
-// handles one sequence at a time.
+// handles one sequence at a time; Replicate produces weight-sharing
+// copies for concurrent mini-batch workers.
 type LSTM struct {
 	In, Hidden int
 
@@ -40,7 +95,7 @@ type LSTM struct {
 	wh [numGates]*Param // Hidden×Hidden recurrent weights per gate
 	b  [numGates]*Param // Hidden×1 biases per gate
 
-	steps []lstmStep
+	ws lstmWorkspace
 }
 
 // NewLSTM builds an LSTM layer with Xavier-initialized weights. The forget
@@ -59,103 +114,119 @@ func NewLSTM(in, hidden int, rng *rand.Rand) *LSTM {
 		}
 		l.b[g] = newParam("lstm.b."+gateNames[g], bias)
 	}
+	l.ws.init(hidden)
 	return l
 }
 
+// Replicate implements Recurrent: the replica shares the weight matrices
+// (read-only during concurrent forward/backward) but owns its gradients
+// and workspace.
+func (l *LSTM) Replicate() Recurrent {
+	r := &LSTM{In: l.In, Hidden: l.Hidden}
+	for g := 0; g < numGates; g++ {
+		r.wx[g] = l.wx[g].shareWeights()
+		r.wh[g] = l.wh[g].shareWeights()
+		r.b[g] = l.b[g].shareWeights()
+	}
+	r.ws.init(l.Hidden)
+	return r
+}
+
 // ForwardSeq runs the layer over a sequence of input vectors starting from
-// zero state, returning the hidden state at every timestep.
+// zero state, returning the hidden state at every timestep. The returned
+// slices alias the layer workspace and stay valid until the next
+// ForwardSeq call on this instance.
 func (l *LSTM) ForwardSeq(seq [][]float64) [][]float64 {
-	l.steps = l.steps[:0]
-	h := make([]float64, l.Hidden)
-	c := make([]float64, l.Hidden)
-	out := make([][]float64, len(seq))
+	w := &l.ws
+	w.ensure(l.In, l.Hidden, len(seq))
+	h, c := w.zero, w.zero
 	for t, x := range seq {
 		if len(x) != l.In {
 			panic(fmt.Sprintf("nn: lstm step %d got %d inputs, want %d", t, len(x), l.In))
 		}
-		step := lstmStep{
-			x:     mat.CloneVec(x),
-			hPrev: mat.CloneVec(h),
-			cPrev: mat.CloneVec(c),
-		}
-		var z [numGates][]float64
+		st := &w.steps[t]
+		copy(st.x, x)
 		for g := 0; g < numGates; g++ {
-			zg := l.wx[g].W.MulVec(x)
-			rec := l.wh[g].W.MulVec(h)
+			zg := st.gates[g]
+			l.wx[g].W.MulVecTo(zg, st.x)
+			l.wh[g].W.MulVecAdd(zg, h)
+			bd := l.b[g].W.Data()
 			for i := range zg {
-				zg[i] += rec[i] + l.b[g].W.At(i, 0)
+				zg[i] += bd[i]
 			}
-			z[g] = zg
 		}
-		f := applyVec(z[gateF], Sigmoid.F)
-		in := applyVec(z[gateI], Sigmoid.F)
-		gg := applyVec(z[gateG], math.Tanh)
-		o := applyVec(z[gateO], Sigmoid.F)
-		cNew := make([]float64, l.Hidden)
-		for i := range cNew {
-			cNew[i] = f[i]*c[i] + in[i]*gg[i]
+		f, in, gg, o := st.gates[gateF], st.gates[gateI], st.gates[gateG], st.gates[gateO]
+		sigmoidVec(f)
+		sigmoidVec(in)
+		tanhVec(gg)
+		sigmoidVec(o)
+		for i := range st.c {
+			st.c[i] = f[i]*c[i] + in[i]*gg[i]
 		}
-		tc := applyVec(cNew, math.Tanh)
-		hNew := make([]float64, l.Hidden)
-		for i := range hNew {
-			hNew[i] = o[i] * tc[i]
+		for i := range st.tanhC {
+			st.tanhC[i] = math.Tanh(st.c[i])
 		}
-		step.gates = [numGates][]float64{f, in, gg, o}
-		step.c = cNew
-		step.tanhC = tc
-		step.h = hNew
-		l.steps = append(l.steps, step)
-		h, c = hNew, cNew
-		out[t] = mat.CloneVec(hNew)
+		for i := range st.h {
+			st.h[i] = o[i] * st.tanhC[i]
+		}
+		h, c = st.h, st.c
+		w.out[t] = st.h
 	}
-	return out
+	return w.out
 }
 
 // BackwardSeq backpropagates through the cached sequence. dH holds
 // ∂L/∂h_t for every timestep (zero vectors where the loss does not touch a
-// step). It accumulates parameter gradients and returns ∂L/∂x_t per step.
+// step). It accumulates parameter gradients and returns ∂L/∂x_t per step;
+// the returned slices alias the workspace and stay valid until the next
+// BackwardSeq call.
 func (l *LSTM) BackwardSeq(dH [][]float64) [][]float64 {
-	if len(dH) != len(l.steps) {
-		panic(fmt.Sprintf("nn: lstm backward got %d grads for %d cached steps", len(dH), len(l.steps)))
+	w := &l.ws
+	if len(dH) != w.n {
+		panic(fmt.Sprintf("nn: lstm backward got %d grads for %d cached steps", len(dH), w.n))
 	}
-	dX := make([][]float64, len(l.steps))
-	dhNext := make([]float64, l.Hidden)
-	dcNext := make([]float64, l.Hidden)
-	for t := len(l.steps) - 1; t >= 0; t-- {
-		st := &l.steps[t]
-		dh := make([]float64, l.Hidden)
+	dhNext, dcNext := w.dhNext, w.dcNext
+	dhPrev, dcPrev := w.dhPrev, w.dcPrev
+	zeroVec(dhNext)
+	zeroVec(dcNext)
+	for t := w.n - 1; t >= 0; t-- {
+		st := &w.steps[t]
+		cPrev := w.zero
+		hPrev := w.zero
+		if t > 0 {
+			cPrev = w.steps[t-1].c
+			hPrev = w.steps[t-1].h
+		}
+		dh := w.dh
 		for i := range dh {
 			dh[i] = dH[t][i] + dhNext[i]
 		}
 		f, in, gg, o := st.gates[gateF], st.gates[gateI], st.gates[gateG], st.gates[gateO]
 
 		// Through h = o ∘ tanh(c).
-		do := make([]float64, l.Hidden)
-		dc := make([]float64, l.Hidden)
+		do := w.do_
+		dc := w.dc
 		for i := range dh {
 			do[i] = dh[i] * st.tanhC[i]
 			dc[i] = dh[i]*o[i]*(1-st.tanhC[i]*st.tanhC[i]) + dcNext[i]
 		}
 		// Through c = f∘cPrev + i∘g.
-		var dz [numGates][]float64
-		dz[gateF] = make([]float64, l.Hidden)
-		dz[gateI] = make([]float64, l.Hidden)
-		dz[gateG] = make([]float64, l.Hidden)
-		dz[gateO] = make([]float64, l.Hidden)
-		dcPrev := make([]float64, l.Hidden)
+		dz := &w.dz
 		for i := range dc {
 			dcPrev[i] = dc[i] * f[i]
-			dz[gateF][i] = dc[i] * st.cPrev[i] * f[i] * (1 - f[i])
+			dz[gateF][i] = dc[i] * cPrev[i] * f[i] * (1 - f[i])
 			dz[gateI][i] = dc[i] * gg[i] * in[i] * (1 - in[i])
 			dz[gateG][i] = dc[i] * in[i] * (1 - gg[i]*gg[i])
 			dz[gateO][i] = do[i] * o[i] * (1 - o[i])
 		}
 
-		dx := make([]float64, l.In)
-		dhPrev := make([]float64, l.Hidden)
+		dx := w.dX[t]
+		zeroVec(dx)
+		zeroVec(dhPrev)
 		for g := 0; g < numGates; g++ {
 			dzg := dz[g]
 			wxG, whG, bG := l.wx[g], l.wh[g], l.b[g]
+			bd := bG.Grad.Data()
 			for i, dv := range dzg {
 				if dv == 0 {
 					continue
@@ -166,10 +237,10 @@ func (l *LSTM) BackwardSeq(dH [][]float64) [][]float64 {
 					wxRow[j] += dv * xv
 				}
 				whRow := whG.Grad.Data()[i*l.Hidden : (i+1)*l.Hidden]
-				for j, hv := range st.hPrev {
+				for j, hv := range hPrev {
 					whRow[j] += dv * hv
 				}
-				bG.Grad.Set(i, 0, bG.Grad.At(i, 0)+dv)
+				bd[i] += dv
 				// dx += Wxᵀ dz, dhPrev += Whᵀ dz.
 				wRow := wxG.W.Data()[i*l.In : (i+1)*l.In]
 				for j, wv := range wRow {
@@ -181,10 +252,10 @@ func (l *LSTM) BackwardSeq(dH [][]float64) [][]float64 {
 				}
 			}
 		}
-		dX[t] = dx
-		dhNext, dcNext = dhPrev, dcPrev
+		dhNext, dhPrev = dhPrev, dhNext
+		dcNext, dcPrev = dcPrev, dcNext
 	}
-	return dX
+	return w.dX[:w.n]
 }
 
 // InSize implements Recurrent.
@@ -243,10 +314,23 @@ func (l *LSTM) SetWeights(wx, wh, b []*mat.Dense) error {
 	return nil
 }
 
-func applyVec(xs []float64, f func(float64) float64) []float64 {
-	out := make([]float64, len(xs))
+// sigmoidVec applies the logistic function to xs in place; tanhVec the
+// hyperbolic tangent. Plain loops (no closure dispatch, no output
+// allocation) keep the per-timestep cell math allocation-free.
+func sigmoidVec(xs []float64) {
 	for i, x := range xs {
-		out[i] = f(x)
+		xs[i] = 1 / (1 + math.Exp(-x))
 	}
-	return out
+}
+
+func tanhVec(xs []float64) {
+	for i, x := range xs {
+		xs[i] = math.Tanh(x)
+	}
+}
+
+func zeroVec(xs []float64) {
+	for i := range xs {
+		xs[i] = 0
+	}
 }

@@ -24,6 +24,10 @@ type Network struct {
 	training    bool
 	dropRng     *rand.Rand
 	lastDropout []float64 // mask applied in the last training Forward
+
+	dropMask   []float64   // reusable inverted-dropout mask buffer
+	dropScaled []float64   // reusable masked-output buffer
+	dHTop      [][]float64 // reusable top-layer hidden-state gradients
 }
 
 // SetTraining toggles training mode (enables dropout). rng drives mask
@@ -88,6 +92,22 @@ func NewNetwork(arch Arch, rng *rand.Rand) *Network {
 	return net
 }
 
+// Replicate returns a worker copy of the network: every layer shares the
+// original's weight matrices read-only but owns private gradient
+// accumulators and forward/backward workspaces, so replicas can run
+// Forward/Backward concurrently over different examples. Training mode and
+// the dropout rng are NOT copied; call SetTraining on the replica.
+func (n *Network) Replicate() *Network {
+	r := &Network{DropoutP: n.DropoutP}
+	for _, l := range n.Recurrent {
+		r.Recurrent = append(r.Recurrent, l.Replicate())
+	}
+	for _, d := range n.Head {
+		r.Head = append(r.Head, d.Replicate())
+	}
+	return r
+}
+
 // InSize returns the expected per-timestep feature count.
 func (n *Network) InSize() int { return n.Recurrent[0].InSize() }
 
@@ -113,13 +133,19 @@ func (n *Network) Forward(seq [][]float64) []float64 {
 		}
 		// Inverted dropout: surviving units scale by 1/(1-p) so inference
 		// needs no rescaling.
-		mask := make([]float64, len(out))
-		scaled := make([]float64, len(out))
+		if len(n.dropMask) != len(out) {
+			n.dropMask = make([]float64, len(out))
+			n.dropScaled = make([]float64, len(out))
+		}
+		mask, scaled := n.dropMask, n.dropScaled
 		keep := 1 - n.DropoutP
 		for i, v := range out {
 			if n.dropRng.Float64() < keep {
 				mask[i] = 1 / keep
 				scaled[i] = v / keep
+			} else {
+				mask[i] = 0
+				scaled[i] = 0
 			}
 		}
 		n.lastDropout = mask
@@ -150,11 +176,15 @@ func (n *Network) Backward(dOut []float64) {
 	// receives loss gradient; each layer's per-timestep input gradient is
 	// the hidden-state gradient of the layer below.
 	top := n.Recurrent[len(n.Recurrent)-1]
-	dH := make([][]float64, n.lastSeqLen)
-	for t := range dH {
-		dH[t] = make([]float64, top.HiddenSize())
+	hidden := top.HiddenSize()
+	for len(n.dHTop) < n.lastSeqLen {
+		n.dHTop = append(n.dHTop, make([]float64, hidden))
 	}
-	dH[n.lastSeqLen-1] = grad
+	dH := n.dHTop[:n.lastSeqLen]
+	for t := 0; t < n.lastSeqLen-1; t++ {
+		zeroVec(dH[t])
+	}
+	copy(dH[n.lastSeqLen-1], grad)
 	for i := len(n.Recurrent) - 1; i >= 0; i-- {
 		dX := n.Recurrent[i].BackwardSeq(dH)
 		if i > 0 {

@@ -23,6 +23,15 @@ func newParam(name string, w *mat.Dense) *Param {
 // ZeroGrad clears the gradient accumulator.
 func (p *Param) ZeroGrad() { p.Grad.Zero() }
 
+// shareWeights returns a Param that aliases p's weight tensor but owns a
+// fresh zero gradient. Worker replicas read the shared weights concurrently
+// and accumulate into their private Grad; only the main copy's weights are
+// ever stepped by an optimizer.
+func (p *Param) shareWeights() *Param {
+	r, c := p.W.Dims()
+	return &Param{Name: p.Name, W: p.W, Grad: mat.New(r, c)}
+}
+
 // GlobalNorm returns the L2 norm of all gradients in params taken together,
 // the quantity gradient clipping bounds.
 func GlobalNorm(params []*Param) float64 {

@@ -1,11 +1,15 @@
 package nn
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"predstream/internal/mat"
 )
+
+var errEmptyDataset = errors.New("nn: empty dataset")
 
 // Dataset holds sequence-to-one training pairs: X[i] is a window of
 // timesteps × features, Y[i] its target vector.
@@ -77,6 +81,21 @@ type TrainConfig struct {
 	// OnEpoch, if set, is invoked with (epoch, meanLoss) after each epoch;
 	// returning false stops training early.
 	OnEpoch func(epoch int, loss float64) bool
+	// Workers is the number of replicas running Forward/Backward
+	// concurrently within each mini-batch: 0 uses runtime.GOMAXPROCS(0),
+	// 1 runs inline on the calling goroutine. Results are bitwise-identical
+	// for any value (gradients reduce in example order; see DESIGN.md,
+	// "Training engine"). Values above BatchSize buy nothing: examples
+	// within one batch are the only available parallelism.
+	Workers int
+}
+
+// effectiveWorkers resolves a Workers knob to a concrete count.
+func effectiveWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
 }
 
 // Train runs stochastic training of net on data and returns the mean loss
@@ -86,7 +105,7 @@ func Train(net *Network, data Dataset, cfg TrainConfig) ([]float64, error) {
 		return nil, err
 	}
 	if data.Len() == 0 {
-		return nil, fmt.Errorf("nn: empty dataset")
+		return nil, errEmptyDataset
 	}
 	if cfg.Epochs <= 0 {
 		return nil, fmt.Errorf("nn: non-positive epoch count %d", cfg.Epochs)
@@ -108,18 +127,20 @@ func Train(net *Network, data Dataset, cfg TrainConfig) ([]float64, error) {
 			return nil, fmt.Errorf("nn: empty validation set")
 		}
 	}
-	if net.DropoutP > 0 {
+	dropout := net.DropoutP > 0
+	var baseSeed int64
+	if dropout {
 		rng := cfg.Rng
 		if rng == nil {
 			rng = rand.New(rand.NewSource(1))
 		}
-		net.SetTraining(true, rng)
-		defer net.SetTraining(false, nil)
+		baseSeed = rng.Int63()
 	}
 	batch := cfg.BatchSize
 	if batch <= 0 {
 		batch = 1
 	}
+	eng := newEngine(net, cfg.Loss, effectiveWorkers(cfg.Workers), baseSeed, dropout)
 	params := net.Params()
 	order := make([]int, data.Len())
 	for i := range order {
@@ -134,31 +155,21 @@ func Train(net *Network, data Dataset, cfg TrainConfig) ([]float64, error) {
 			cfg.Rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		}
 		var total float64
-		inBatch := 0
-		step := func() {
-			if inBatch == 0 {
-				return
+		for start := 0; start < len(order); start += batch {
+			end := start + batch
+			if end > len(order) {
+				end = len(order)
 			}
-			if inBatch > 1 {
-				scale := 1 / float64(inBatch)
+			total += eng.runBatch(data, order[start:end], epoch, start)
+			if count := end - start; count > 1 {
+				scale := 1 / float64(count)
 				for _, p := range params {
 					p.Grad.ScaleInPlace(scale)
 				}
 			}
 			ClipGradients(params, cfg.ClipNorm)
 			cfg.Optimizer.Step(params)
-			inBatch = 0
 		}
-		for _, idx := range order {
-			pred := net.Forward(data.X[idx])
-			total += cfg.Loss.Value(pred, data.Y[idx])
-			net.Backward(cfg.Loss.Grad(pred, data.Y[idx]))
-			inBatch++
-			if inBatch >= batch {
-				step()
-			}
-		}
-		step() // flush the trailing partial batch
 		mean := total / float64(data.Len())
 		losses = append(losses, mean)
 		if cfg.OnEpoch != nil && !cfg.OnEpoch(epoch, mean) {
@@ -168,16 +179,10 @@ func Train(net *Network, data Dataset, cfg TrainConfig) ([]float64, error) {
 		// otherwise.
 		monitored := mean
 		if cfg.ValData != nil {
-			wasTraining := net.training
-			net.SetTraining(false, nil)
-			var valTotal float64
-			for i := range cfg.ValData.X {
-				valTotal += cfg.Loss.Value(net.Forward(cfg.ValData.X[i]), cfg.ValData.Y[i])
-			}
-			if wasTraining {
-				net.SetTraining(true, cfg.Rng)
-			}
-			monitored = valTotal / float64(cfg.ValData.Len())
+			// The engine's replicas double as the validation evaluator; it
+			// flips them to inference mode itself, so there is no hand-rolled
+			// dropout toggle here anymore.
+			monitored = eng.evaluate(cfg.ValData)
 		}
 		improved := best < 0 || monitored < best
 		if improved {
@@ -205,7 +210,7 @@ func EvaluateLoss(net *Network, data Dataset, loss Loss) (float64, error) {
 		return 0, err
 	}
 	if data.Len() == 0 {
-		return 0, fmt.Errorf("nn: empty dataset")
+		return 0, errEmptyDataset
 	}
 	if loss == nil {
 		loss = MSE{}

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# CI gate: vet, build, full test suite, then the race detector over the
+# packages with real concurrency (the training engine in internal/nn and
+# the stream engine in internal/dsps). Run via `make ci` or directly.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (nn, dsps) =="
+go test -race ./internal/nn/... ./internal/dsps/...
+
+echo "CI OK"

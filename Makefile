@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race ci bench bench-train
+.PHONY: build test race ci bench bench-train soak soak-short fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -9,12 +9,34 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent packages: the data-parallel
-# training engine (internal/nn) and the stream engine (internal/dsps).
+# training engine (internal/nn), the stream engine (internal/dsps), and
+# the chaos harness that hammers it (internal/chaos).
 race:
-	$(GO) test -race ./internal/nn/... ./internal/dsps/...
+	$(GO) test -race ./internal/nn/... ./internal/dsps/... ./internal/chaos/...
 
 ci:
 	sh scripts/ci.sh
+
+# Short deterministic chaos soak (~15s): a generated fault schedule replays
+# against the live engine, with and without the control loop, under
+# invariant checking. Any violation prints the reproducing seed.
+soak-short:
+	$(GO) run ./cmd/dspsim -chaos -chaos-seed 1 -duration 4s -rate 300
+	$(GO) run ./cmd/dspsim -chaos -chaos-seed 2 -duration 4s -rate 300 -dynamic -control
+
+# Full soak (~2min): a longer dspsim chaos replay plus the stretched
+# engine and controlled-bypass soak tests. CHAOS_SOAK_SECONDS widens the
+# fault-schedule horizon inside TestChaosSoakEngine.
+soak:
+	$(GO) run ./cmd/dspsim -chaos -chaos-seed 1 -duration 20s -rate 300 -dynamic -control
+	CHAOS_SOAK_SECONDS=10 $(GO) test -run 'TestChaosSoak' -v ./internal/dsps/ ./internal/experiments/
+
+# 10s of native fuzzing per target; corpus finds land in testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test -fuzz='^FuzzChaosSchedule$$' -run '^$$' -fuzztime 10s ./internal/chaos/
+	$(GO) test -fuzz='^FuzzGroupingRatios$$' -run '^$$' -fuzztime 10s ./internal/dsps/
+	$(GO) test -fuzz='^FuzzHistogramQuantile$$' -run '^$$' -fuzztime 10s ./internal/dsps/
+	$(GO) test -fuzz='^FuzzAckerTrees$$' -run '^$$' -fuzztime 10s ./internal/dsps/
 
 bench:
 	$(GO) test -bench=. -benchmem .

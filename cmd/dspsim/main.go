@@ -3,16 +3,25 @@
 // injection and the predictive control loop enabled — a minimal
 // operational console for the engine.
 //
+// With -chaos it instead replays a seeded random fault schedule while the
+// chaos harness checks engine invariants (tuple conservation, acker
+// quiescence, monotone counters, bounded queues); any violation exits
+// non-zero and prints the reproducing seed. This is what `make soak` and
+// `make soak-short` run.
+//
 // Examples:
 //
 //	dspsim -app urlcount -duration 10s
 //	dspsim -app urlcount -dynamic -control -fault-worker worker-1 -fault-at 4s -slowdown 8 -duration 15s
+//	dspsim -app urlcount -chaos -chaos-seed 7 -duration 8s
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"sort"
@@ -20,6 +29,7 @@ import (
 
 	"predstream/internal/apps/contquery"
 	"predstream/internal/apps/urlcount"
+	"predstream/internal/chaos"
 	"predstream/internal/console"
 	"predstream/internal/core"
 	"predstream/internal/dsps"
@@ -28,21 +38,39 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "urlcount", "application: urlcount or contquery")
-	duration := flag.Duration("duration", 10*time.Second, "run duration")
-	statsEvery := flag.Duration("stats", time.Second, "statistics print period")
-	nodes := flag.Int("nodes", 2, "simulated machines")
-	workers := flag.Int("workers", 4, "worker processes")
-	dynamic := flag.Bool("dynamic", false, "use dynamic grouping on the controllable edge")
-	control := flag.Bool("control", false, "run the predictive control loop (requires -dynamic)")
-	controlPeriod := flag.Duration("control-period", 500*time.Millisecond, "control loop period")
-	faultWorker := flag.String("fault-worker", "", "inject a fault into this worker")
-	faultAt := flag.Duration("fault-at", 0, "when to inject the fault")
-	slowdown := flag.Float64("slowdown", 8, "fault slowdown factor")
-	rate := flag.Float64("rate", 0, "spout rate in tuples/s (0 = unpaced)")
-	seed := flag.Int64("seed", 1, "random seed")
-	httpAddr := flag.String("http", "", "serve the JSON console on this address (e.g. :8080)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "dspsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dspsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	app := fs.String("app", "urlcount", "application: urlcount or contquery")
+	duration := fs.Duration("duration", 10*time.Second, "run duration (chaos: fault-schedule horizon)")
+	statsEvery := fs.Duration("stats", time.Second, "statistics print period")
+	nodes := fs.Int("nodes", 2, "simulated machines")
+	workers := fs.Int("workers", 4, "worker processes")
+	dynamic := fs.Bool("dynamic", false, "use dynamic grouping on the controllable edge")
+	control := fs.Bool("control", false, "run the predictive control loop (requires -dynamic)")
+	controlPeriod := fs.Duration("control-period", 500*time.Millisecond, "control loop period")
+	faultWorker := fs.String("fault-worker", "", "inject a fault into this worker")
+	faultAt := fs.Duration("fault-at", 0, "when to inject the fault")
+	slowdown := fs.Float64("slowdown", 8, "fault slowdown factor")
+	rate := fs.Float64("rate", 0, "spout rate in tuples/s (0 = unpaced)")
+	seed := fs.Int64("seed", 1, "random seed")
+	httpAddr := fs.String("http", "", "serve the JSON console on this address (e.g. :8080)")
+	chaosMode := fs.Bool("chaos", false, "replay a generated fault schedule under invariant checking instead of the stats loop")
+	chaosSeed := fs.Int64("chaos-seed", 1, "chaos schedule seed (the reproducer token)")
+	chaosEvents := fs.Int("chaos-events", 0, "chaos events over the horizon (0 = ~2 per second)")
+	chaosVerbose := fs.Bool("chaos-verbose", false, "log each chaos event as it fires")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var shape workload.RateShape
 	if *rate > 0 {
@@ -69,50 +97,71 @@ func main() {
 		err = fmt.Errorf("unknown app %q", *app)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	cluster := dsps.NewCluster(dsps.ClusterConfig{
+	cfg := dsps.ClusterConfig{
 		Nodes: *nodes, Seed: *seed,
 		QueueSize: 64, MaxSpoutPending: 256, AckTimeout: 10 * time.Second,
-	})
+	}
+	if *chaosMode {
+		// Dropped tuples only fail via the ack-timeout sweep, so the final
+		// drain is bounded by it; and queues need headroom beyond the
+		// in-flight cap so a single stalled worker cannot wedge the whole
+		// pipeline through backpressure.
+		cfg.AckTimeout = 2 * time.Second
+		cfg.QueueSize = 2048
+	}
+	cluster := dsps.NewCluster(cfg)
 	if err := cluster.Submit(topo, dsps.SubmitConfig{Workers: *workers}); err != nil {
-		fatal(err)
+		return err
 	}
 	defer cluster.Shutdown()
-	fmt.Printf("running %s on %d nodes / %d workers for %v (dynamic=%v control=%v)\n",
-		*app, *nodes, *workers, *duration, *dynamic, *control)
+	fmt.Fprintf(stdout, "running %s on %d nodes / %d workers for %v (dynamic=%v control=%v chaos=%v)\n",
+		*app, *nodes, *workers, *duration, *dynamic, *control, *chaosMode)
 
-	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	if !*chaosMode {
+		ctx, cancel = context.WithTimeout(context.Background(), *duration)
+		defer cancel()
+	}
 	var ctrl *core.Controller
 	if *control {
 		if !*dynamic {
-			fatal(fmt.Errorf("-control requires -dynamic"))
+			return fmt.Errorf("-control requires -dynamic")
 		}
 		ctrl, err = core.NewController(cluster,
 			[]core.ControlTarget{{Component: stage, Grouping: dg}},
 			core.Config{Policy: core.PolicyBypass})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		go func() {
 			if err := ctrl.Run(ctx, *controlPeriod); err != nil {
-				fmt.Fprintf(os.Stderr, "control loop: %v\n", err)
+				fmt.Fprintf(stderr, "control loop: %v\n", err)
 			}
 		}()
+	}
+
+	if *chaosMode {
+		return runChaos(cluster, topo, dg, ctrl, chaosConfig{
+			seed: *chaosSeed, events: *chaosEvents, horizon: *duration,
+			workers: *workers, stage: stage, controlPeriod: *controlPeriod,
+			verbose: *chaosVerbose,
+		}, stdout)
 	}
 
 	sampler := telemetry.NewSamplerFiltered(0, stage)
 	if *httpAddr != "" {
 		srv, err := console.New(cluster, sampler, ctrl)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		go func() {
-			fmt.Printf("console listening on %s (/healthz /snapshot /workers /control)\n", *httpAddr)
+			fmt.Fprintf(stdout, "console listening on %s (/healthz /snapshot /workers /control)\n", *httpAddr)
 			if err := http.ListenAndServe(*httpAddr, srv); err != nil {
-				fmt.Fprintf(os.Stderr, "console: %v\n", err)
+				fmt.Fprintf(stderr, "console: %v\n", err)
 			}
 		}()
 	}
@@ -126,16 +175,16 @@ func main() {
 		select {
 		case <-ctx.Done():
 			final := cluster.Snapshot()
-			fmt.Printf("\nfinal: acked=%d failed=%d inflight=%d\n",
+			fmt.Fprintf(stdout, "\nfinal: acked=%d failed=%d inflight=%d\n",
 				final.TotalAcked(), final.TotalFailed(), cluster.InFlight())
-			return
+			return nil
 		case <-ticker.C:
 		}
 		if !faulted && *faultWorker != "" && time.Since(start) >= *faultAt {
 			if err := cluster.InjectFault(*faultWorker, dsps.Fault{Slowdown: *slowdown}); err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Printf("-- injected %.0fx slowdown on %s --\n", *slowdown, *faultWorker)
+			fmt.Fprintf(stdout, "-- injected %.0fx slowdown on %s --\n", *slowdown, *faultWorker)
 			faulted = true
 		}
 		snap := cluster.Snapshot()
@@ -144,7 +193,7 @@ func main() {
 		acked := float64(snap.TotalAcked()-prev.TotalAcked()) / dt
 		failed := float64(snap.TotalFailed()-prev.TotalFailed()) / dt
 		prev = snap
-		fmt.Printf("[%5.1fs] acked/s=%7.0f failed/s=%5.0f inflight=%4d",
+		fmt.Fprintf(stdout, "[%5.1fs] acked/s=%7.0f failed/s=%5.0f inflight=%4d",
 			time.Since(start).Seconds(), acked, failed, cluster.InFlight())
 		ids := sampler.Workers()
 		sort.Strings(ids)
@@ -158,13 +207,59 @@ func main() {
 			if w.Misbehaving {
 				marker = "!"
 			}
-			fmt.Printf("  %s%s=%.1fms", id, marker, w.AvgExecMs)
+			fmt.Fprintf(stdout, "  %s%s=%.1fms", id, marker, w.AvgExecMs)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "dspsim: %v\n", err)
-	os.Exit(1)
+type chaosConfig struct {
+	seed          int64
+	events        int
+	horizon       time.Duration
+	workers       int
+	stage         string
+	controlPeriod time.Duration
+	verbose       bool
+}
+
+// runChaos generates a seeded fault schedule, replays it under invariant
+// checking, prints the report, and returns an error carrying the
+// reproducing seed if any invariant broke.
+func runChaos(cluster *dsps.Cluster, topo *dsps.Topology, dg *dsps.DynamicGrouping, ctrl *core.Controller, cc chaosConfig, stdout io.Writer) error {
+	events := cc.events
+	if events <= 0 {
+		events = int(2 * cc.horizon / time.Second)
+		if events < 6 {
+			events = 6
+		}
+	}
+	script := chaos.Generate(cc.seed, chaos.GenConfig{
+		Events:  events,
+		Horizon: cc.horizon,
+		Workers: cc.workers,
+		Stall:   true, Checkpoint: true, Pause: true,
+	})
+	opts := chaos.Options{SpoutComponents: topo.Spouts()}
+	if cc.verbose {
+		opts.Log = stdout
+	}
+	if ctrl != nil {
+		// The controller needs several periods of post-stall windows before
+		// the stall channel flags a worker; give it generous latency.
+		latency := 10 * cc.controlPeriod
+		if latency < 5*time.Second {
+			latency = 5 * time.Second
+		}
+		opts.Controlled = []chaos.ControlledEdge{{
+			Component: cc.stage, Grouping: dg, DetectionLatency: latency,
+		}}
+	}
+	fmt.Fprintf(stdout, "chaos: replaying %d events over %v (seed %d)\n", len(script.Events), cc.horizon, cc.seed)
+	rep, err := chaos.Run(cluster, script, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, rep)
+	return rep.Err()
 }

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -19,12 +21,23 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
 	}
-	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) < 1 {
+		usage(stderr)
+		return fmt.Errorf("missing subcommand")
+	}
+	cmd := args[0]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	steps := fs.Int("steps", 500, "trace length in measurement windows (accuracy experiments)")
 	epochs := fs.Int("epochs", 40, "DRNN training epochs")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -33,20 +46,19 @@ func main() {
 	measure := fs.Duration("measure", 3*time.Second, "measurement interval (reliability)")
 	warmup := fs.Duration("warmup", 2*time.Second, "warmup before measurement (reliability)")
 	outDir := fs.String("out", "", "also write each experiment's series as CSV into this directory")
-	if err := fs.Parse(os.Args[2:]); err != nil {
-		os.Exit(2)
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	}
 	acc := experiments.AccuracyConfig{Steps: *steps, Epochs: *epochs, Seed: *seed, Horizon: *horizon, Workers: *workers}
 
 	type csver interface{ CSV() [][]string }
-	run := func(name string) error {
-		fmt.Printf("=== %s ===\n", name)
+	runOne := func(name string) error {
+		fmt.Fprintf(stdout, "=== %s ===\n", name)
 		start := time.Now()
 		var err error
 		var result csver
@@ -57,7 +69,7 @@ func main() {
 			acc1.App = experiments.AppURLCount
 			if r, err = experiments.RunAccuracy(acc1); err == nil {
 				result = r
-				fmt.Print(r.Render())
+				fmt.Fprint(stdout, r.Render())
 			}
 		case "e2":
 			var r *experiments.AccuracyResult
@@ -65,25 +77,25 @@ func main() {
 			acc2.App = experiments.AppContQuery
 			if r, err = experiments.RunAccuracy(acc2); err == nil {
 				result = r
-				fmt.Print(r.Render())
+				fmt.Fprint(stdout, r.Render())
 			}
 		case "e3":
 			var r *experiments.OverlayResult
 			if r, err = experiments.RunOverlay(acc); err == nil {
 				result = r
-				fmt.Print(r.Render())
+				fmt.Fprint(stdout, r.Render())
 			}
 		case "e4":
 			var r *experiments.AblationResult
 			if r, err = experiments.RunAblation(*steps, *epochs, *seed, *workers); err == nil {
 				result = r
-				fmt.Print(r.Render())
+				fmt.Fprint(stdout, r.Render())
 			}
 		case "e5":
 			var r *experiments.GroupingResult
 			if r, err = experiments.RunGrouping(experiments.GroupingConfig{}); err == nil {
 				result = r
-				fmt.Print(r.Render())
+				fmt.Fprint(stdout, r.Render())
 			}
 		case "e6", "e7":
 			// E6 (throughput) and E7 (latency) come from the same runs;
@@ -93,7 +105,7 @@ func main() {
 				Warmup: *warmup, Measure: *measure, Seed: *seed,
 			}); err == nil {
 				result = r
-				fmt.Print(r.Render())
+				fmt.Fprint(stdout, r.Render())
 			}
 		case "e6s":
 			// Stall variant: the misbehaving worker hangs completely; one
@@ -106,25 +118,25 @@ func main() {
 				Warmup:      *warmup, Measure: *measure, Seed: *seed,
 			}); err == nil {
 				result = r
-				fmt.Print(r.Render())
+				fmt.Fprint(stdout, r.Render())
 			}
 		case "e8":
 			var r *experiments.ConvergenceResult
 			if r, err = experiments.RunConvergence(acc); err == nil {
 				result = r
-				fmt.Print(r.Render())
+				fmt.Fprint(stdout, r.Render())
 			}
 		case "e9":
 			var r *experiments.SensitivityResult
 			if r, err = experiments.RunSensitivity(acc, nil, nil); err == nil {
 				result = r
-				fmt.Print(r.Render())
+				fmt.Fprint(stdout, r.Render())
 			}
 		case "e10":
 			var r *experiments.ReactionResult
 			if r, err = experiments.RunReaction(experiments.ReactionConfig{Seed: *seed}); err == nil {
 				result = r
-				fmt.Print(r.Render())
+				fmt.Fprint(stdout, r.Render())
 			}
 		case "e10r":
 			// Recovery variant: the fault clears mid-run and the probe
@@ -134,7 +146,7 @@ func main() {
 				Seed: *seed, Steps: 24, FaultAtStep: 6, ClearAtStep: 14, ProbeRatio: 0.05,
 			}); err == nil {
 				result = r
-				fmt.Print(r.Render())
+				fmt.Fprint(stdout, r.Render())
 			}
 		case "e11":
 			var r *experiments.PolicyAblationResult
@@ -142,13 +154,13 @@ func main() {
 				Warmup: *warmup, Measure: *measure, Seed: *seed,
 			}); err == nil {
 				result = r
-				fmt.Print(r.Render())
+				fmt.Fprint(stdout, r.Render())
 			}
 		case "e12":
 			var r *experiments.InterferenceResult
 			if r, err = experiments.RunInterference(experiments.InterferenceConfig{Seed: *seed}); err == nil {
 				result = r
-				fmt.Print(r.Render())
+				fmt.Fprint(stdout, r.Render())
 			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
@@ -169,9 +181,9 @@ func main() {
 			if err := f.Close(); err != nil {
 				return err
 			}
-			fmt.Printf("(series written to %s)\n", path)
+			fmt.Fprintf(stdout, "(series written to %s)\n", path)
 		}
-		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 		return nil
 	}
 
@@ -180,15 +192,15 @@ func main() {
 		names = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e6s", "e8", "e9", "e10", "e10r", "e11", "e12"}
 	}
 	for _, n := range names {
-		if err := run(n); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+		if err := runOne(n); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: experiments <subcommand> [flags]
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: experiments <subcommand> [flags]
 
 subcommands:
   e1    prediction accuracy, Windowed URL Count (DRNN vs ARIMA vs SVR)

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunNoSubcommand(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	err := run(nil, &out, &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "missing subcommand") {
+		t.Fatalf("err = %v, want missing subcommand", err)
+	}
+	if !strings.Contains(errBuf.String(), "usage: experiments") {
+		t.Fatalf("usage missing from stderr:\n%s", errBuf.String())
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	err := run([]string{"e5", "-h"}, &out, &errBuf)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(errBuf.String(), "-seed") {
+		t.Fatalf("flag usage missing from stderr:\n%s", errBuf.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"e5", "-bogus"}, &out, &errBuf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	err := run([]string{"e99"}, &out, &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v, want unknown experiment", err)
+	}
+}
+
+// TestRunGroupingExperiment runs E5 (the cheapest live-engine experiment)
+// end to end and also exercises the -out CSV path.
+func TestRunGroupingExperiment(t *testing.T) {
+	dir := t.TempDir()
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"e5", "-out", dir}, &out, &errBuf); err != nil {
+		t.Fatalf("run e5: %v\nstderr: %s", err, errBuf.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "=== e5 ===") {
+		t.Fatalf("no banner:\n%s", s)
+	}
+	csv := filepath.Join(dir, "e5.csv")
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatalf("no CSV written: %v", err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty CSV")
+	}
+	if !strings.Contains(s, "(series written to") {
+		t.Fatalf("no CSV confirmation:\n%s", s)
+	}
+}

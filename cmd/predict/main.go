@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -28,33 +30,47 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "urlcount", "workload profile: urlcount or contquery")
-	steps := flag.Int("steps", 500, "trace length in measurement windows")
-	window := flag.Int("window", 10, "model input window")
-	horizon := flag.Int("horizon", 1, "forecast horizon")
-	epochs := flag.Int("epochs", 40, "DRNN training epochs")
-	seed := flag.Int64("seed", 1, "random seed")
-	worker := flag.String("worker", "", "worker whose series to predict (default: first)")
-	live := flag.Bool("live", false, "collect the trace from a live engine run instead of the synthetic generator")
-	livePeriod := flag.Duration("live-period", 250*time.Millisecond, "live sampling period")
-	target := flag.String("target", "proctime", "prediction target: proctime or throughput")
-	noInterference := flag.Bool("no-interference", false, "drop co-located-worker features")
-	cell := flag.String("cell", "lstm", "DRNN recurrent cell: lstm or gru")
-	batch := flag.Int("batch", 0, "DRNN mini-batch size (0/1 = pure SGD)")
-	workers := flag.Int("workers", 0, "DRNN training workers per mini-batch (0 = all CPUs; results are worker-count invariant)")
-	sarimaPeriod := flag.Int("sarima-period", 0, "also compare a SARIMA(1,0,1)(1,0,0)_s baseline at this seasonal period")
-	allWorkers := flag.Bool("all-workers", false, "evaluate over every worker's series, pooling the walk-forward residuals")
-	savePath := flag.String("save", "", "write the fitted DRNN checkpoint to this path")
-	loadPath := flag.String("load", "", "load a DRNN checkpoint instead of training")
-	traceOut := flag.String("trace-out", "", "archive the trace to this CSV path")
-	traceIn := flag.String("trace-in", "", "read the trace from this CSV path instead of generating/collecting")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "predict: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("predict", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	app := fs.String("app", "urlcount", "workload profile: urlcount or contquery")
+	steps := fs.Int("steps", 500, "trace length in measurement windows")
+	window := fs.Int("window", 10, "model input window")
+	horizon := fs.Int("horizon", 1, "forecast horizon")
+	epochs := fs.Int("epochs", 40, "DRNN training epochs")
+	seed := fs.Int64("seed", 1, "random seed")
+	worker := fs.String("worker", "", "worker whose series to predict (default: first)")
+	live := fs.Bool("live", false, "collect the trace from a live engine run instead of the synthetic generator")
+	livePeriod := fs.Duration("live-period", 250*time.Millisecond, "live sampling period")
+	target := fs.String("target", "proctime", "prediction target: proctime or throughput")
+	noInterference := fs.Bool("no-interference", false, "drop co-located-worker features")
+	cell := fs.String("cell", "lstm", "DRNN recurrent cell: lstm or gru")
+	batch := fs.Int("batch", 0, "DRNN mini-batch size (0/1 = pure SGD)")
+	workers := fs.Int("workers", 0, "DRNN training workers per mini-batch (0 = all CPUs; results are worker-count invariant)")
+	sarimaPeriod := fs.Int("sarima-period", 0, "also compare a SARIMA(1,0,1)(1,0,0)_s baseline at this seasonal period")
+	allWorkers := fs.Bool("all-workers", false, "evaluate over every worker's series, pooling the walk-forward residuals")
+	savePath := fs.String("save", "", "write the fitted DRNN checkpoint to this path")
+	loadPath := fs.String("load", "", "load a DRNN checkpoint instead of training")
+	traceOut := fs.String("trace-out", "", "archive the trace to this CSV path")
+	traceIn := fs.String("trace-in", "", "read the trace from this CSV path instead of generating/collecting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	metric := telemetry.TargetProcTime
 	if *target == "throughput" {
 		metric = telemetry.TargetThroughput
 	} else if *target != "proctime" {
-		fatal(fmt.Errorf("unknown target %q", *target))
+		return fmt.Errorf("unknown target %q", *target)
 	}
 	featCfg := telemetry.FeatureConfig{Interference: !*noInterference}
 
@@ -64,31 +80,31 @@ func main() {
 	case *traceIn != "":
 		f, ferr := os.Open(*traceIn)
 		if ferr != nil {
-			fatal(ferr)
+			return ferr
 		}
 		traces, err = trace.ReadCSV(f)
 		f.Close()
 	case *live:
-		traces, err = collectLive(*app, *steps, *livePeriod, *seed)
+		traces, err = collectLive(stdout, *app, *steps, *livePeriod, *seed)
 	default:
 		traces, err = synthetic(*app, *steps, *seed)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *traceOut != "" {
 		f, ferr := os.Create(*traceOut)
 		if ferr != nil {
-			fatal(ferr)
+			return ferr
 		}
 		if err := trace.WriteCSV(f, traces); err != nil {
 			f.Close()
-			fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("archived trace to %s\n", *traceOut)
+		fmt.Fprintf(stdout, "archived trace to %s\n", *traceOut)
 	}
 	id := *worker
 	if id == "" {
@@ -99,9 +115,9 @@ func main() {
 	}
 	wins, ok := traces[id]
 	if !ok {
-		fatal(fmt.Errorf("no trace for worker %q (have %v)", id, sortedKeys(traces)))
+		return fmt.Errorf("no trace for worker %q (have %v)", id, sortedKeys(traces))
 	}
-	fmt.Printf("trace: %d windows for %s (%s, live=%v), target %s, interference=%v\n",
+	fmt.Fprintf(stdout, "trace: %d windows for %s (%s, live=%v), target %s, interference=%v\n",
 		len(wins), id, *app, *live, metric, featCfg.Interference)
 
 	series := telemetry.ToSeries(wins, metric, featCfg)
@@ -115,16 +131,15 @@ func main() {
 	if *loadPath != "" {
 		f, err := os.Open(*loadPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		loaded, err := drnn.Load(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		// Evaluate the checkpoint directly on the held-out span.
-		evalCheckpoint(loaded, series, trainLen, *horizon)
-		return
+		return evalCheckpoint(stdout, loaded, series, trainLen, *horizon)
 	}
 	factories := []func() timeseries.Predictor{
 		func() timeseries.Predictor {
@@ -159,7 +174,7 @@ func main() {
 				m := mk()
 				res, err := timeseries.WalkForward(m, ws, tl, *horizon)
 				if err != nil {
-					fatal(fmt.Errorf("worker %s model %s: %w", wid, m.Name(), err))
+					return fmt.Errorf("worker %s model %s: %w", wid, m.Name(), err)
 				}
 				p := byModel[m.Name()]
 				if p == nil {
@@ -171,12 +186,12 @@ func main() {
 				p.pred = append(p.pred, res.Predicted...)
 			}
 		}
-		fmt.Printf("pooled walk-forward over %d workers:\n", len(workersList))
+		fmt.Fprintf(stdout, "pooled walk-forward over %d workers:\n", len(workersList))
 		for _, name := range modelOrder {
 			p := byModel[name]
-			fmt.Printf("  %s\n", stats.Evaluate(name, p.actual, p.pred))
+			fmt.Fprintf(stdout, "  %s\n", stats.Evaluate(name, p.actual, p.pred))
 		}
-		return
+		return nil
 	}
 
 	models = append(models,
@@ -189,40 +204,42 @@ func main() {
 	}
 	results, err := timeseries.Compare(models, series, trainLen, *horizon)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("walk-forward over %d held-out windows (train %d):\n", len(results[0].Actual), trainLen)
+	fmt.Fprintf(stdout, "walk-forward over %d held-out windows (train %d):\n", len(results[0].Actual), trainLen)
 	for _, r := range results {
-		fmt.Printf("  %s\n", r.Report)
+		fmt.Fprintf(stdout, "  %s\n", r.Report)
 	}
 	if *savePath != "" {
 		f, err := os.Create(*savePath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := model.Save(f); err != nil {
 			f.Close()
-			fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("saved DRNN checkpoint (%d params) to %s\n", model.NumParams(), *savePath)
+		fmt.Fprintf(stdout, "saved DRNN checkpoint (%d params) to %s\n", model.NumParams(), *savePath)
 	}
+	return nil
 }
 
-func evalCheckpoint(model *drnn.Predictor, series *timeseries.Series, trainLen, horizon int) {
+func evalCheckpoint(stdout io.Writer, model *drnn.Predictor, series *timeseries.Series, trainLen, horizon int) error {
 	var actual, pred []float64
 	for i := trainLen; i+horizon-1 < series.Len(); i++ {
 		v, err := model.Predict(series.Slice(0, i), horizon)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		pred = append(pred, v)
 		actual = append(actual, series.Points[i+horizon-1].Target)
 	}
-	fmt.Printf("checkpoint evaluation over %d windows:\n", len(actual))
-	fmt.Printf("  %s\n", stats.Evaluate("DRNN(ckpt)", actual, pred))
+	fmt.Fprintf(stdout, "checkpoint evaluation over %d windows:\n", len(actual))
+	fmt.Fprintf(stdout, "  %s\n", stats.Evaluate("DRNN(ckpt)", actual, pred))
+	return nil
 }
 
 func synthetic(app string, steps int, seed int64) (map[string][]telemetry.WindowStats, error) {
@@ -244,7 +261,7 @@ func synthetic(app string, steps int, seed int64) (map[string][]telemetry.Window
 	}
 }
 
-func collectLive(app string, windows int, period time.Duration, seed int64) (map[string][]telemetry.WindowStats, error) {
+func collectLive(stdout io.Writer, app string, windows int, period time.Duration, seed int64) (map[string][]telemetry.WindowStats, error) {
 	var topo *dsps.Topology
 	var err error
 	var stage string
@@ -272,7 +289,7 @@ func collectLive(app string, windows int, period time.Duration, seed int64) (map
 		return nil, err
 	}
 	defer cluster.Shutdown()
-	fmt.Printf("collecting %d live windows every %v from %q stage %s…\n", windows, period, app, stage)
+	fmt.Fprintf(stdout, "collecting %d live windows every %v from %q stage %s…\n", windows, period, app, stage)
 	sampler := telemetry.NewSamplerFiltered(0, stage)
 	ticker := time.NewTicker(period)
 	defer ticker.Stop()
@@ -302,9 +319,4 @@ func sortedKeys(m map[string][]telemetry.WindowStats) []string {
 		}
 	}
 	return out
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "predict: %v\n", err)
-	os.Exit(1)
 }

@@ -1,0 +1,91 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"predstream/internal/dsps"
+)
+
+// fuzzHorizon bounds decoded schedules so each fuzz iteration stays fast.
+const fuzzHorizon = 240 * time.Millisecond
+
+// decodeSchedule turns arbitrary bytes into a valid chaos script: four
+// bytes per event (kind, worker, time, parameter), at most eight events.
+// Every decodable input is a schedule the engine must survive — the fuzzer
+// explores orderings and overlaps, not crashes in the decoder.
+func decodeSchedule(data []byte) Script {
+	var evs []Event
+	for len(data) >= 4 && len(evs) < 8 {
+		kind, worker, at, param := data[0], data[1], data[2], data[3]
+		data = data[4:]
+		ev := Event{
+			At:          fuzzHorizon * time.Duration(at) / 256,
+			WorkerIndex: int(worker % 4),
+		}
+		switch kind % 8 {
+		case 0:
+			ev.Kind = KindInject
+			ev.Fault = dsps.Fault{Slowdown: 1 + float64(param%7)}
+		case 1:
+			ev.Kind = KindInject
+			ev.Fault = dsps.Fault{DropProb: float64(param) / 255 * 0.9}
+		case 2:
+			ev.Kind = KindInject
+			ev.Fault = dsps.Fault{FailProb: float64(param) / 255 * 0.9}
+		case 3:
+			ev.Kind = KindInject
+			ev.Fault = dsps.Fault{Stall: true}
+		case 4, 5:
+			ev.Kind = KindClear
+		case 6:
+			ev.Kind = KindPause
+		default:
+			ev.Kind = KindResume
+		}
+		evs = append(evs, ev)
+	}
+	s := Script{Seed: int64(len(evs)), Events: evs}
+	s.Events = s.sorted()
+	return s
+}
+
+// FuzzChaosSchedule decodes arbitrary bytes into a fault schedule, replays
+// it against a live topology, and fails if any engine invariant breaks.
+// This is the tentpole property: the engine conserves tuples and quiesces
+// under every fault interleaving, not just the scripted ones.
+func FuzzChaosSchedule(f *testing.F) {
+	f.Add([]byte{0x00, 0x00, 0x10, 0x04, 0x04, 0x00, 0x80, 0x00}) // slowdown then clear
+	f.Add([]byte{0x01, 0x01, 0x08, 0xff, 0x02, 0x02, 0x20, 0x80}) // drop + fail overlap
+	f.Add([]byte{0x03, 0x00, 0x04, 0x00, 0x06, 0x00, 0x40, 0x00}) // stall then pause
+	f.Add([]byte{0x07, 0x00, 0x01, 0x00})                         // lone resume
+	f.Fuzz(func(t *testing.T, data []byte) {
+		script := decodeSchedule(data)
+		if len(script.Events) == 0 {
+			return
+		}
+		topo, _ := soakTopology(t, "fuzz")
+		c := dsps.NewCluster(dsps.ClusterConfig{
+			Nodes:           1,
+			QueueSize:       32,
+			MaxSpoutPending: 64,
+			AckTimeout:      120 * time.Millisecond,
+			Delayer:         dsps.NopDelayer{},
+			Seed:            1,
+		})
+		if err := c.Submit(topo, dsps.SubmitConfig{Workers: 2}); err != nil {
+			t.Fatal(err)
+		}
+		defer c.Shutdown()
+		rep, err := Run(c, script, Options{
+			CheckEvery:      10 * time.Millisecond,
+			SpoutComponents: topo.Spouts(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Fatalf("invariants violated under fuzzed schedule %v:\n%s", script.Events, rep)
+		}
+	})
+}

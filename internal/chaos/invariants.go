@@ -1,0 +1,162 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"predstream/internal/dsps"
+)
+
+// Violation is one invariant breach observed during a chaos run.
+type Violation struct {
+	// At is the offset from the start of the run.
+	At time.Duration
+	// Invariant is the short name of the breached invariant.
+	Invariant string
+	// Detail describes the observed values.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("[%v] %s: %s", v.At.Round(time.Millisecond), v.Invariant, v.Detail)
+}
+
+// checker accumulates invariant violations over a run. It is driven from
+// the runner's single goroutine.
+type checker struct {
+	start    time.Time
+	queueCap int
+	max      int
+
+	prev       map[int]dsps.TaskStats // last snapshot, keyed by TaskID
+	violations []Violation
+	truncated  bool
+}
+
+func newChecker(queueCap, max int) *checker {
+	return &checker{start: time.Now(), queueCap: queueCap, max: max}
+}
+
+func (ck *checker) violate(invariant, format string, args ...any) {
+	if len(ck.violations) >= ck.max {
+		ck.truncated = true
+		return
+	}
+	ck.violations = append(ck.violations, Violation{
+		At:        time.Since(ck.start),
+		Invariant: invariant,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// continuous asserts the invariants that must hold at every instant, even
+// mid-fault: counters are non-negative and monotone per task, and no input
+// queue exceeds the configured bound. Task ids are cluster-global and
+// never reused, so tasks that vanish (kill, rebalance) simply drop out of
+// the tracked set and fresh incarnations start new monotone sequences.
+func (ck *checker) continuous(snap *dsps.Snapshot) {
+	cur := make(map[int]dsps.TaskStats, len(snap.Tasks))
+	for _, ts := range snap.Tasks {
+		cur[ts.TaskID] = ts
+		if ts.Executed < 0 || ts.Emitted < 0 || ts.Acked < 0 || ts.Failed < 0 || ts.Dropped < 0 {
+			ck.violate("counter-sign", "task %d (%s): negative counter in %+v", ts.TaskID, ts.Component, ts)
+		}
+		if ts.QueueLen > ck.queueCap {
+			ck.violate("queue-bound", "task %d (%s): queue length %d exceeds capacity %d",
+				ts.TaskID, ts.Component, ts.QueueLen, ck.queueCap)
+		}
+		p, ok := ck.prev[ts.TaskID]
+		if !ok {
+			continue
+		}
+		type mono struct {
+			name       string
+			prev, curr int64
+		}
+		for _, m := range []mono{
+			{"executed", p.Executed, ts.Executed},
+			{"emitted", p.Emitted, ts.Emitted},
+			{"acked", p.Acked, ts.Acked},
+			{"failed", p.Failed, ts.Failed},
+			{"dropped", p.Dropped, ts.Dropped},
+			{"execLatency", int64(p.ExecLatency), int64(ts.ExecLatency)},
+			{"queueLatency", int64(p.QueueLatency), int64(ts.QueueLatency)},
+			{"completeLatency", int64(p.CompleteLatency), int64(ts.CompleteLatency)},
+		} {
+			if m.curr < m.prev {
+				ck.violate("monotone", "task %d (%s): %s went backwards %d -> %d",
+					ts.TaskID, ts.Component, m.name, m.prev, m.curr)
+			}
+		}
+	}
+	ck.prev = cur
+}
+
+// quiescent asserts the invariants of a drained cluster: the acker map is
+// empty, every queue is empty, and spout counters conserve tuples exactly
+// (every anchored emission was acked or failed — nothing leaked, nothing
+// double-counted). spouts names the components whose emissions are
+// anchored roots; bolt tasks must never show spout-side counters.
+func (ck *checker) quiescent(inFlight int, snap *dsps.Snapshot, spouts map[string]bool) {
+	if inFlight != 0 {
+		ck.violate("acker-quiescent", "%d roots still tracked after drain", inFlight)
+	}
+	for _, ts := range snap.Tasks {
+		if ts.QueueLen != 0 {
+			ck.violate("queue-drained", "task %d (%s): %d tuples still queued after drain",
+				ts.TaskID, ts.Component, ts.QueueLen)
+		}
+		switch {
+		case spouts[ts.Component]:
+			if ts.Emitted != ts.Acked+ts.Failed {
+				ck.violate("conservation", "spout task %d (%s): emitted %d != acked %d + failed %d",
+					ts.TaskID, ts.Component, ts.Emitted, ts.Acked, ts.Failed)
+			}
+		case len(spouts) > 0:
+			if ts.Acked != 0 || ts.Failed != 0 {
+				ck.violate("conservation", "bolt task %d (%s): unexpected spout counters acked=%d failed=%d",
+					ts.TaskID, ts.Component, ts.Acked, ts.Failed)
+			}
+		}
+	}
+}
+
+// plan asserts controller-plan sanity for one controlled edge: the split
+// ratios are a distribution (each finite and non-negative, summing to 1),
+// and any worker that has been continuously stalled for longer than the
+// edge's detection latency receives at most MaxStalledShare of the stream
+// — the paper's bypass guarantee.
+func (ck *checker) plan(edge ControlledEdge, snap *dsps.Snapshot, stalledFor func(string) time.Duration) {
+	ratios := edge.Grouping.Ratios()
+	if ratios == nil {
+		return
+	}
+	var sum float64
+	for i, r := range ratios {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			ck.violate("plan-ratio", "edge %s: ratio[%d]=%v invalid", edge.Component, i, r)
+			return
+		}
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		ck.violate("plan-sum", "edge %s: ratios %v sum to %v, want 1", edge.Component, ratios, sum)
+	}
+	tasks := snap.ComponentTasks(edge.Component)
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].TaskIndex < tasks[j].TaskIndex })
+	if len(tasks) != len(ratios) {
+		// Mid-rebalance mismatch: the grouping will re-uniform on the next
+		// Select; nothing meaningful to assert against stale tasks.
+		return
+	}
+	for i, ts := range tasks {
+		d := stalledFor(ts.WorkerID)
+		if d > edge.DetectionLatency && ratios[i] > edge.MaxStalledShare {
+			ck.violate("plan-bypass", "edge %s: worker %s stalled for %v but task index %d still receives share %.3f (max %.3f)",
+				edge.Component, ts.WorkerID, d.Round(time.Millisecond), ts.TaskIndex, ratios[i], edge.MaxStalledShare)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"predstream/internal/dsps"
+)
+
+// ControlledEdge declares one dynamic-grouping edge whose plan the checker
+// audits (see checker.plan).
+type ControlledEdge struct {
+	// Component is the downstream component whose input split is
+	// controlled.
+	Component string
+	// Grouping is the handle the controller steers.
+	Grouping *dsps.DynamicGrouping
+	// DetectionLatency is how long a stalled worker may keep receiving
+	// traffic before the bypass invariant fires; default 2s.
+	DetectionLatency time.Duration
+	// MaxStalledShare is the tolerated post-detection share of a stalled
+	// worker (the controller's probe ratio plus slack); default 0.01.
+	MaxStalledShare float64
+}
+
+// Options configures a chaos run. Zero fields take the noted defaults.
+type Options struct {
+	// CheckEvery is the cadence of continuous invariant checks between
+	// events; default 20ms.
+	CheckEvery time.Duration
+	// DrainTimeout bounds each quiescence drain (checkpoints and the
+	// final phase). Dropped tuples only fail via the ack-timeout sweep,
+	// so the default is 2×AckTimeout + 1s.
+	DrainTimeout time.Duration
+	// SpoutComponents names the components whose emissions are anchored
+	// roots (see Topology.Spouts); required for the conservation check,
+	// which is skipped when empty.
+	SpoutComponents []string
+	// Controlled lists dynamic-grouping edges whose plans are audited.
+	Controlled []ControlledEdge
+	// MaxViolations caps the report size; default 32.
+	MaxViolations int
+	// Log, when set, receives one line per fired event.
+	Log io.Writer
+}
+
+// Report is the outcome of a chaos run.
+type Report struct {
+	// Seed is the script's seed — the reproducer token.
+	Seed int64
+	// Events is the script length; Fired and Skipped partition how many
+	// were applied vs rejected (unknown worker, dead topology, invalid
+	// fault — all legitimate under churn).
+	Events, Fired, Skipped int
+	// Checks counts invariant sweeps.
+	Checks int
+	// Drained reports whether the final quiescence drain completed.
+	Drained bool
+	// Elapsed is the wall-clock run time.
+	Elapsed time.Duration
+	// Violations are the invariant breaches (empty = clean run).
+	Violations []Violation
+	// ViolationsTruncated reports that more violations occurred than
+	// MaxViolations.
+	ViolationsTruncated bool
+}
+
+// OK reports whether the run held every invariant.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Err returns nil for a clean run, or an error naming the first violation
+// and the reproducing seed.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("chaos: %d invariant violation(s), first: %s (reproduce with seed %d)",
+		len(r.Violations), r.Violations[0], r.Seed)
+}
+
+// String renders the report; a failing report always includes the
+// reproducing seed.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos: seed=%d events=%d fired=%d skipped=%d checks=%d drained=%v elapsed=%v violations=%d\n",
+		r.Seed, r.Events, r.Fired, r.Skipped, r.Checks, r.Drained, r.Elapsed.Round(time.Millisecond), len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	if r.ViolationsTruncated {
+		b.WriteString("  ... more violations truncated\n")
+	}
+	if !r.OK() {
+		fmt.Fprintf(&b, "  reproduce: replay the same script/generator config with seed=%d\n", r.Seed)
+	}
+	return b.String()
+}
+
+// Run replays the script against the cluster, interleaving invariant
+// checks, then clears all faults, pauses spouts, drains, and runs the
+// quiescent-state checks. The returned error covers harness misuse only;
+// invariant outcomes live in the Report.
+func Run(c *dsps.Cluster, s Script, opts Options) (*Report, error) {
+	if c == nil {
+		return nil, fmt.Errorf("chaos: nil cluster")
+	}
+	if opts.CheckEvery <= 0 {
+		opts.CheckEvery = 20 * time.Millisecond
+	}
+	if opts.DrainTimeout <= 0 {
+		opts.DrainTimeout = 2*c.Config().AckTimeout + time.Second
+	}
+	if opts.MaxViolations <= 0 {
+		opts.MaxViolations = 32
+	}
+	for i := range opts.Controlled {
+		e := &opts.Controlled[i]
+		if e.Component == "" || e.Grouping == nil {
+			return nil, fmt.Errorf("chaos: controlled edge %d incomplete", i)
+		}
+		if e.DetectionLatency <= 0 {
+			e.DetectionLatency = 2 * time.Second
+		}
+		if e.MaxStalledShare <= 0 {
+			e.MaxStalledShare = 0.01
+		}
+	}
+	evs := s.sorted()
+	for _, ev := range evs {
+		if ev.At < 0 {
+			return nil, fmt.Errorf("chaos: event %q has negative time", ev)
+		}
+	}
+
+	rep := &Report{Seed: s.Seed, Events: len(evs)}
+	ck := newChecker(c.Config().QueueSize, opts.MaxViolations)
+	spouts := make(map[string]bool, len(opts.SpoutComponents))
+	for _, sc := range opts.SpoutComponents {
+		spouts[sc] = true
+	}
+	// stallSince tracks when each worker entered a *continuous* stall, the
+	// clock the plan-bypass invariant measures detection latency against.
+	stallSince := map[string]time.Time{}
+	stalledFor := func(w string) time.Duration {
+		if t0, ok := stallSince[w]; ok {
+			return time.Since(t0)
+		}
+		return 0
+	}
+	pruneStalls := func() {
+		live := map[string]bool{}
+		for _, id := range c.WorkerIDs() {
+			live[id] = true
+		}
+		for w := range stallSince {
+			if !live[w] {
+				delete(stallSince, w)
+			}
+		}
+	}
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format+"\n", args...)
+		}
+	}
+
+	check := func() {
+		snap := c.Snapshot()
+		ck.continuous(snap)
+		for _, e := range opts.Controlled {
+			ck.plan(e, snap, stalledFor)
+		}
+		rep.Checks++
+	}
+	// quiesce clears every fault, pauses spouts, and drains: once faults
+	// are cleared, queue growth must be bounded — the cluster has to reach
+	// full quiescence within the drain timeout, at which point the exact
+	// conservation invariants hold.
+	quiesce := func(resume bool) bool {
+		for _, w := range c.WorkerIDs() {
+			c.ClearFault(w)
+		}
+		for w := range stallSince {
+			delete(stallSince, w)
+		}
+		c.PauseSpouts()
+		drained := c.Drain(opts.DrainTimeout)
+		if !drained {
+			ck.violate("drain", "cluster failed to quiesce within %v of clearing all faults (in flight: %d)",
+				opts.DrainTimeout, c.InFlight())
+		}
+		snap := c.Snapshot()
+		ck.continuous(snap)
+		if drained {
+			ck.quiescent(c.InFlight(), snap, spouts)
+		}
+		rep.Checks++
+		if resume {
+			c.ResumeSpouts()
+		}
+		return drained
+	}
+
+	targetTopology := func(ev Event) string {
+		if ev.Topology != "" {
+			return ev.Topology
+		}
+		if tops := c.Topologies(); len(tops) > 0 {
+			return tops[0]
+		}
+		return ""
+	}
+	fire := func(ev Event) {
+		applied := false
+		switch ev.Kind {
+		case KindInject:
+			if id := resolveWorker(c, ev); id != "" {
+				if err := c.InjectFault(id, ev.Fault); err == nil {
+					applied = true
+					if ev.Fault.Stall {
+						if _, ok := stallSince[id]; !ok {
+							stallSince[id] = time.Now()
+						}
+					} else {
+						delete(stallSince, id)
+					}
+				}
+			}
+		case KindClear:
+			if id := resolveWorker(c, ev); id != "" {
+				c.ClearFault(id)
+				delete(stallSince, id)
+				applied = true
+			}
+		case KindRebalance:
+			if name := targetTopology(ev); name != "" {
+				if err := c.Rebalance(name, dsps.SubmitConfig{Workers: ev.Workers, Strategy: ev.Strategy}, ev.DrainTimeout); err == nil {
+					applied = true
+					pruneStalls()
+				}
+			}
+		case KindKill:
+			if name := targetTopology(ev); name != "" {
+				if err := c.ShutdownTopology(name); err == nil {
+					applied = true
+					pruneStalls()
+				}
+			}
+		case KindPause:
+			c.PauseSpouts()
+			applied = true
+		case KindResume:
+			c.ResumeSpouts()
+			applied = true
+		case KindCheckpoint:
+			quiesce(true)
+			applied = true
+		}
+		if applied {
+			rep.Fired++
+			logf("chaos: fired %s", ev)
+		} else {
+			rep.Skipped++
+			logf("chaos: skipped %s", ev)
+		}
+	}
+
+	i := 0
+	for i < len(evs) {
+		now := time.Since(ck.start)
+		if evs[i].At <= now {
+			fire(evs[i])
+			i++
+			continue
+		}
+		check()
+		wait := evs[i].At - time.Since(ck.start)
+		if wait > opts.CheckEvery {
+			wait = opts.CheckEvery
+		}
+		if wait > 0 {
+			time.Sleep(wait)
+		}
+	}
+	rep.Drained = quiesce(false)
+	rep.Elapsed = time.Since(ck.start)
+	rep.Violations = ck.violations
+	rep.ViolationsTruncated = ck.truncated
+	return rep, nil
+}
+
+// resolveWorker maps an event's target to a live worker id: the explicit
+// id when given (which may legitimately be dead — the caller skips it),
+// otherwise the worker index modulo the live worker list.
+func resolveWorker(c *dsps.Cluster, ev Event) string {
+	if ev.Worker != "" {
+		return ev.Worker
+	}
+	ids := c.WorkerIDs()
+	if len(ids) == 0 {
+		return ""
+	}
+	idx := ev.WorkerIndex
+	if idx < 0 {
+		idx = -idx
+	}
+	return ids[idx%len(ids)]
+}

@@ -8,78 +8,82 @@ import (
 	"time"
 )
 
-// TestPropertyAckerRandomTrees drives the acker with randomly shaped tuple
-// trees and checks the invariant: a root completes exactly when every edge
+// ackerRandomTreeProperty drives the acker with a randomly shaped tuple
+// tree and checks the invariant: a root completes exactly when every edge
 // has been both produced and consumed, regardless of the transition order.
-func TestPropertyAckerRandomTrees(t *testing.T) {
-	f := func(seed int64, fanRaw, depthRaw uint8) bool {
-		fan := int(fanRaw%3) + 1   // children per node: 1..3
-		depth := int(depthRaw % 4) // tree depth: 0..3
-		rng := rand.New(rand.NewSource(seed))
+// Shared by the quick.Check regression test and FuzzAckerTrees.
+func ackerRandomTreeProperty(seed int64, fanRaw, depthRaw uint8) bool {
+	fan := int(fanRaw%3) + 1   // children per node: 1..3
+	depth := int(depthRaw % 4) // tree depth: 0..3
+	rng := rand.New(rand.NewSource(seed))
 
-		var mu sync.Mutex
-		var results []ackResult
-		a := newAcker(time.Minute, func(r ackResult) {
-			mu.Lock()
-			results = append(results, r)
-			mu.Unlock()
-		})
-
-		// Build the tree: each node is an edge id; children produced when
-		// the parent is consumed.
-		type node struct {
-			id       uint64
-			children []*node
-		}
-		var build func(level int) *node
-		build = func(level int) *node {
-			n := &node{id: rng.Uint64() | 1}
-			if level < depth {
-				for c := 0; c < fan; c++ {
-					n.children = append(n.children, build(level+1))
-				}
-			}
-			return n
-		}
-		root := build(0)
-		const rootID = 42
-		a.register(rootID, root.id, "msg", 0)
-
-		// Collect (consumed, produced) transitions and apply them in a
-		// random order — XOR acking must be order-independent.
-		type transition struct {
-			consumed uint64
-			produced []uint64
-		}
-		var trans []transition
-		var walk func(n *node)
-		walk = func(n *node) {
-			var produced []uint64
-			for _, c := range n.children {
-				produced = append(produced, c.id)
-				walk(c)
-			}
-			trans = append(trans, transition{consumed: n.id, produced: produced})
-		}
-		walk(root)
-		rng.Shuffle(len(trans), func(i, j int) { trans[i], trans[j] = trans[j], trans[i] })
-
-		for i, tr := range trans {
-			mu.Lock()
-			done := len(results)
-			mu.Unlock()
-			if done != 0 && i < len(trans) {
-				// Completed before all transitions were applied: only a
-				// bug (or an astronomically improbable XOR collision).
-				return false
-			}
-			a.transition(rootID, tr.consumed, tr.produced)
-		}
+	var mu sync.Mutex
+	var results []ackResult
+	a := newAcker(time.Minute, func(r ackResult) {
 		mu.Lock()
-		defer mu.Unlock()
-		return len(results) == 1 && results[0].ok && a.inFlight() == 0
+		results = append(results, r)
+		mu.Unlock()
+	})
+
+	// Build the tree: each node is an edge id; children produced when
+	// the parent is consumed.
+	type node struct {
+		id       uint64
+		children []*node
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+	var build func(level int) *node
+	build = func(level int) *node {
+		n := &node{id: rng.Uint64() | 1}
+		if level < depth {
+			for c := 0; c < fan; c++ {
+				n.children = append(n.children, build(level+1))
+			}
+		}
+		return n
+	}
+	root := build(0)
+	const rootID = 42
+	a.register(rootID, root.id, "msg", 0)
+
+	// Collect (consumed, produced) transitions and apply them in a
+	// random order — XOR acking must be order-independent.
+	type transition struct {
+		consumed uint64
+		produced []uint64
+	}
+	var trans []transition
+	var walk func(n *node)
+	walk = func(n *node) {
+		var produced []uint64
+		for _, c := range n.children {
+			produced = append(produced, c.id)
+			walk(c)
+		}
+		trans = append(trans, transition{consumed: n.id, produced: produced})
+	}
+	walk(root)
+	rng.Shuffle(len(trans), func(i, j int) { trans[i], trans[j] = trans[j], trans[i] })
+
+	for i, tr := range trans {
+		mu.Lock()
+		done := len(results)
+		mu.Unlock()
+		if done != 0 && i < len(trans) {
+			// Completed before all transitions were applied: only a
+			// bug (or an astronomically improbable XOR collision).
+			return false
+		}
+		a.transition(rootID, tr.consumed, tr.produced)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return len(results) == 1 && results[0].ok && a.inFlight() == 0
+}
+
+// TestPropertyAckerRandomTrees is the quick.Check regression form of the
+// property; FuzzAckerTrees explores the same space under go test -fuzz.
+func TestPropertyAckerRandomTrees(t *testing.T) {
+	if err := quick.Check(ackerRandomTreeProperty, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -26,16 +26,18 @@ type Fault struct {
 	Stall bool
 }
 
-// valid reports whether the fault's fields are in range.
+// valid reports whether the fault's fields are in range. Probabilities are
+// checked for NaN/Inf explicitly: NaN compares false against any bound, so
+// a plain range check would silently accept it.
 func (f Fault) valid() error {
 	if math.IsNaN(f.Slowdown) || math.IsInf(f.Slowdown, 0) ||
 		f.Slowdown < 0 || (f.Slowdown > 0 && f.Slowdown < 1) {
 		return fmt.Errorf("dsps: fault slowdown %v must be 0 (none) or >= 1", f.Slowdown)
 	}
-	if f.DropProb < 0 || f.DropProb > 1 {
+	if math.IsNaN(f.DropProb) || math.IsInf(f.DropProb, 0) || f.DropProb < 0 || f.DropProb > 1 {
 		return fmt.Errorf("dsps: fault drop probability %v out of [0,1]", f.DropProb)
 	}
-	if f.FailProb < 0 || f.FailProb > 1 {
+	if math.IsNaN(f.FailProb) || math.IsInf(f.FailProb, 0) || f.FailProb < 0 || f.FailProb > 1 {
 		return fmt.Errorf("dsps: fault fail probability %v out of [0,1]", f.FailProb)
 	}
 	return nil

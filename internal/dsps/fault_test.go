@@ -1,0 +1,87 @@
+package dsps
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFaultValidation(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		f    Fault
+		ok   bool
+	}{
+		{"zero value", Fault{}, true},
+		{"no slowdown", Fault{Slowdown: 0}, true},
+		{"unit slowdown", Fault{Slowdown: 1}, true},
+		{"big slowdown", Fault{Slowdown: 8}, true},
+		{"stall only", Fault{Stall: true}, true},
+		{"full drop", Fault{DropProb: 1}, true},
+		{"full fail", Fault{FailProb: 1}, true},
+		{"combined", Fault{Slowdown: 2, DropProb: 0.5, FailProb: 0.5, Stall: true}, true},
+
+		// Slowdown in (0,1) would speed the worker up; reject it.
+		{"fractional slowdown", Fault{Slowdown: 0.5}, false},
+		{"negative slowdown", Fault{Slowdown: -1}, false},
+		{"NaN slowdown", Fault{Slowdown: nan}, false},
+		{"Inf slowdown", Fault{Slowdown: inf}, false},
+
+		// NaN compares false against both bounds of [0,1], so these probe
+		// the explicit IsNaN/IsInf checks.
+		{"NaN drop", Fault{DropProb: nan}, false},
+		{"Inf drop", Fault{DropProb: inf}, false},
+		{"negative drop", Fault{DropProb: -0.1}, false},
+		{"excess drop", Fault{DropProb: 1.1}, false},
+		{"NaN fail", Fault{FailProb: nan}, false},
+		{"Inf fail", Fault{FailProb: inf}, false},
+		{"negative Inf fail", Fault{FailProb: math.Inf(-1)}, false},
+		{"excess fail", Fault{FailProb: 2}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.f.valid()
+			if tc.ok && err != nil {
+				t.Fatalf("valid() rejected %+v: %v", tc.f, err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("valid() accepted %+v", tc.f)
+			}
+		})
+	}
+}
+
+func TestInjectFaultUnknownWorker(t *testing.T) {
+	c := testCluster()
+	defer c.Shutdown()
+	// No topology submitted: every worker id is unknown.
+	if err := c.InjectFault("worker-0", Fault{Slowdown: 2}); err == nil {
+		t.Fatal("InjectFault on empty cluster accepted")
+	}
+
+	b := NewTopologyBuilder("faults")
+	b.SetSpout("src", func() Spout { return &countingSpout{limit: 1} }, 1, "n")
+	b.SetBolt("sink", func() Bolt { return &sinkBolt{} }, 1).ShuffleGrouping("src")
+	topo, _ := b.Build()
+	if err := c.Submit(topo, SubmitConfig{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectFault("no-such-worker", Fault{Slowdown: 2}); err == nil {
+		t.Fatal("InjectFault on unknown worker accepted")
+	}
+	ids := c.WorkerIDs()
+	if len(ids) != 2 {
+		t.Fatalf("WorkerIDs = %v", ids)
+	}
+	if err := c.InjectFault(ids[0], Fault{Slowdown: 2}); err != nil {
+		t.Fatalf("InjectFault on live worker failed: %v", err)
+	}
+	// A live worker with an invalid fault must still be rejected.
+	if err := c.InjectFault(ids[0], Fault{DropProb: math.NaN()}); err == nil {
+		t.Fatal("InjectFault accepted NaN drop probability")
+	}
+	// Clearing unknown ids is a silent no-op, like clearing a clean worker.
+	c.ClearFault("no-such-worker")
+	c.ClearFault(ids[0])
+}

@@ -121,8 +121,10 @@ func (g *DynamicGrouping) SetRatios(ratios []float64) error {
 		}
 		sum += r
 	}
-	if sum <= 0 {
-		return fmt.Errorf("dsps: ratios sum to %v, need > 0", sum)
+	if sum <= 0 || math.IsInf(sum, 0) {
+		// An overflowed (+Inf) sum would normalize every entry to 0 and
+		// silently route the whole stream to task 0.
+		return fmt.Errorf("dsps: ratios sum to %v, need finite > 0", sum)
 	}
 	norm := make([]float64, len(ratios))
 	for i, r := range ratios {

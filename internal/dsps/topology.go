@@ -294,6 +294,18 @@ func (t *Topology) Components() []string {
 	return out
 }
 
+// Spouts returns the names of the spout components in declaration order.
+// Spout tasks are the ones whose counters satisfy the tuple-conservation
+// invariant emitted = acked + failed at quiescence, which is what the
+// chaos harness checks.
+func (t *Topology) Spouts() []string {
+	out := make([]string, 0, len(t.spouts))
+	for _, s := range t.spouts {
+		out = append(out, s.name)
+	}
+	return out
+}
+
 // Parallelism returns the declared parallelism of a component, or 0 if
 // unknown.
 func (t *Topology) Parallelism(component string) int {

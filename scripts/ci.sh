@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# CI gate: vet, build, full test suite, then the race detector over the
-# packages with real concurrency (the training engine in internal/nn and
-# the stream engine in internal/dsps). Run via `make ci` or directly.
+# CI gate: vet, build, full test suite, the race detector over the
+# packages with real concurrency (training engine, stream engine, chaos
+# harness), a short chaos soak against the live engine, and a fuzz smoke
+# over each native fuzz target. Run via `make ci` or directly.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,7 +16,16 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (nn, dsps) =="
-go test -race ./internal/nn/... ./internal/dsps/...
+echo "== go test -race (nn, dsps, chaos) =="
+go test -race ./internal/nn/... ./internal/dsps/... ./internal/chaos/...
+
+echo "== chaos soak (short) =="
+make soak-short
+
+echo "== fuzz smoke (10s per target) =="
+go test -fuzz='^FuzzChaosSchedule$' -run '^$' -fuzztime 10s ./internal/chaos/
+go test -fuzz='^FuzzGroupingRatios$' -run '^$' -fuzztime 10s ./internal/dsps/
+go test -fuzz='^FuzzHistogramQuantile$' -run '^$' -fuzztime 10s ./internal/dsps/
+go test -fuzz='^FuzzAckerTrees$' -run '^$' -fuzztime 10s ./internal/dsps/
 
 echo "CI OK"

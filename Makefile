@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race ci bench bench-train soak soak-short fuzz-smoke
+.PHONY: build test race ci bench bench-train bench-engine bench-smoke soak soak-short fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -45,3 +45,16 @@ bench:
 # in BENCH_train.json.
 bench-train:
 	$(GO) test -run xxx -bench 'BenchmarkTrain(Serial|Parallel)' -benchmem .
+
+# Stream-engine data-plane throughput: acked/unanchored linear chains,
+# fan-out, dynamic grouping, and steady-state emit, each reporting tuples/s
+# and allocs/op. Numbers are recorded in BENCH_engine.json.
+bench-engine:
+	$(GO) test -run xxx -bench 'BenchmarkEngine' -benchmem ./internal/dsps/
+
+# One-iteration pass over the engine benchmarks: catches benchmark bit-rot
+# in CI without paying for statistically stable numbers. (The root-package
+# experiment benchmarks are full experiment replicas — minutes even at 1x —
+# so they stay out of the CI gate.)
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkEngine' -benchtime 1x -benchmem ./internal/dsps/

@@ -24,6 +24,8 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -68,8 +70,42 @@ func run(args []string, stdout, stderr io.Writer) error {
 	chaosSeed := fs.Int64("chaos-seed", 1, "chaos schedule seed (the reproducer token)")
 	chaosEvents := fs.Int("chaos-events", 0, "chaos events over the horizon (0 = ~2 per second)")
 	chaosVerbose := fs.Bool("chaos-verbose", false, "log each chaos event as it fires")
+	ackerShards := fs.Int("acker-shards", 0, "acker shard count, rounded up to a power of two (0 = engine default)")
+	batchSize := fs.Int("batch", 0, "data-plane micro-batch size in tuples, clamped to the queue size (0 = engine default)")
+	flushInterval := fs.Duration("flush-interval", 0, "spout partial-batch flush deadline (0 = engine default)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file on shutdown")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	var shape workload.RateShape
@@ -103,6 +139,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cfg := dsps.ClusterConfig{
 		Nodes: *nodes, Seed: *seed,
 		QueueSize: 64, MaxSpoutPending: 256, AckTimeout: 10 * time.Second,
+		AckerShards: *ackerShards, BatchSize: *batchSize, FlushInterval: *flushInterval,
 	}
 	if *chaosMode {
 		// Dropped tuples only fail via the ack-timeout sweep, so the final

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"flag"
+	"os"
 	"strings"
 	"testing"
 )
@@ -48,6 +49,56 @@ func TestRunShortSession(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	err := run([]string{
 		"-duration", "600ms", "-stats", "200ms", "-rate", "200", "-seed", "3",
+	}, &out, &errBuf)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "final: acked=") {
+		t.Fatalf("no final tally in output:\n%s", out.String())
+	}
+}
+
+// TestRunWritesProfiles drives a short run with -cpuprofile/-memprofile
+// and checks both files appear, non-empty, after a clean shutdown.
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := dir + "/cpu.pprof"
+	mem := dir + "/mem.pprof"
+	var out, errBuf bytes.Buffer
+	err := run([]string{
+		"-duration", "400ms", "-stats", "200ms", "-rate", "200", "-seed", "3",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, &out, &errBuf)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errBuf.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestRunCPUProfileBadPath reports a usable error instead of a partial run.
+func TestRunCPUProfileBadPath(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-duration", "100ms", "-cpuprofile", t.TempDir() + "/no/such/dir/cpu.pprof"}, &out, &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "cpuprofile") {
+		t.Fatalf("err = %v, want cpuprofile error", err)
+	}
+}
+
+// TestRunDataPlaneKnobs checks the batching/acker flags reach the engine
+// (a run with explicit knobs completes and makes progress).
+func TestRunDataPlaneKnobs(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	err := run([]string{
+		"-duration", "500ms", "-stats", "200ms", "-rate", "300", "-seed", "7",
+		"-acker-shards", "2", "-batch", "8", "-flush-interval", "2ms",
 	}, &out, &errBuf)
 	if err != nil {
 		t.Fatalf("run: %v\nstderr: %s", err, errBuf.String())

@@ -46,8 +46,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	measure := fs.Duration("measure", 3*time.Second, "measurement interval (reliability)")
 	warmup := fs.Duration("warmup", 2*time.Second, "warmup before measurement (reliability)")
 	outDir := fs.String("out", "", "also write each experiment's series as CSV into this directory")
+	ackerShards := fs.Int("acker-shards", 0, "engine acker shard count, rounded up to a power of two (0 = engine default)")
+	engineBatch := fs.Int("engine-batch", 0, "engine micro-batch size in tuples (0 = engine default)")
+	flushInterval := fs.Duration("flush-interval", 0, "engine partial-batch flush deadline (0 = engine default)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+	knobs := experiments.EngineKnobs{
+		AckerShards: *ackerShards, BatchSize: *engineBatch, FlushInterval: *flushInterval,
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -93,7 +99,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 		case "e5":
 			var r *experiments.GroupingResult
-			if r, err = experiments.RunGrouping(experiments.GroupingConfig{}); err == nil {
+			if r, err = experiments.RunGrouping(experiments.GroupingConfig{Engine: knobs}); err == nil {
 				result = r
 				fmt.Fprint(stdout, r.Render())
 			}
@@ -102,7 +108,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			// the table carries both columns.
 			var r *experiments.ReliabilityResult
 			if r, err = experiments.RunReliability(experiments.ReliabilityConfig{
-				Warmup: *warmup, Measure: *measure, Seed: *seed,
+				Warmup: *warmup, Measure: *measure, Seed: *seed, Engine: knobs,
 			}); err == nil {
 				result = r
 				fmt.Fprint(stdout, r.Render())
@@ -115,7 +121,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 				Misbehaving: []int{0, 1},
 				Stall:       true,
 				Workers:     10,
-				Warmup:      *warmup, Measure: *measure, Seed: *seed,
+				Warmup:      *warmup, Measure: *measure, Seed: *seed, Engine: knobs,
 			}); err == nil {
 				result = r
 				fmt.Fprint(stdout, r.Render())
@@ -151,7 +157,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		case "e11":
 			var r *experiments.PolicyAblationResult
 			if r, err = experiments.RunPolicyAblation(experiments.ReliabilityConfig{
-				Warmup: *warmup, Measure: *measure, Seed: *seed,
+				Warmup: *warmup, Measure: *measure, Seed: *seed, Engine: knobs,
 			}); err == nil {
 				result = r
 				fmt.Fprint(stdout, r.Render())

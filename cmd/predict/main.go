@@ -62,8 +62,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	loadPath := fs.String("load", "", "load a DRNN checkpoint instead of training")
 	traceOut := fs.String("trace-out", "", "archive the trace to this CSV path")
 	traceIn := fs.String("trace-in", "", "read the trace from this CSV path instead of generating/collecting")
+	ackerShards := fs.Int("acker-shards", 0, "live engine acker shard count (0 = engine default)")
+	engineBatch := fs.Int("engine-batch", 0, "live engine micro-batch size in tuples (0 = engine default)")
+	flushInterval := fs.Duration("flush-interval", 0, "live engine partial-batch flush deadline (0 = engine default)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	engineCfg := dsps.ClusterConfig{
+		Nodes: 2, AckerShards: *ackerShards, BatchSize: *engineBatch, FlushInterval: *flushInterval,
 	}
 
 	metric := telemetry.TargetProcTime
@@ -85,7 +91,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		traces, err = trace.ReadCSV(f)
 		f.Close()
 	case *live:
-		traces, err = collectLive(stdout, *app, *steps, *livePeriod, *seed)
+		traces, err = collectLive(stdout, *app, *steps, *livePeriod, *seed, engineCfg)
 	default:
 		traces, err = synthetic(*app, *steps, *seed)
 	}
@@ -261,7 +267,7 @@ func synthetic(app string, steps int, seed int64) (map[string][]telemetry.Window
 	}
 }
 
-func collectLive(stdout io.Writer, app string, windows int, period time.Duration, seed int64) (map[string][]telemetry.WindowStats, error) {
+func collectLive(stdout io.Writer, app string, windows int, period time.Duration, seed int64, ccfg dsps.ClusterConfig) (map[string][]telemetry.WindowStats, error) {
 	var topo *dsps.Topology
 	var err error
 	var stage string
@@ -284,7 +290,8 @@ func collectLive(stdout io.Writer, app string, windows int, period time.Duration
 	if err != nil {
 		return nil, err
 	}
-	cluster := dsps.NewCluster(dsps.ClusterConfig{Nodes: 2, Seed: seed})
+	ccfg.Seed = seed
+	cluster := dsps.NewCluster(ccfg)
 	if err := cluster.Submit(topo, dsps.SubmitConfig{Workers: 4}); err != nil {
 		return nil, err
 	}

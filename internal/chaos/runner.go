@@ -135,6 +135,8 @@ func Run(c *dsps.Cluster, s Script, opts Options) (*Report, error) {
 	}
 
 	rep := &Report{Seed: s.Seed, Events: len(evs)}
+	// Queue occupancy is producer-reserved before each batch hand-off, so
+	// the configured bound holds exactly regardless of batch sizes.
 	ck := newChecker(c.Config().QueueSize, opts.MaxViolations)
 	spouts := make(map[string]bool, len(opts.SpoutComponents))
 	for _, sc := range opts.SpoutComponents {

@@ -5,8 +5,8 @@ import (
 	"time"
 )
 
-// ackResult is delivered to the spout executor that emitted the root
-// tuple.
+// ackResult is delivered (in batches) to the spout executor that emitted
+// the root tuple.
 type ackResult struct {
 	msgID    any
 	ok       bool // true = fully processed, false = failed/timed out
@@ -18,115 +18,164 @@ type ackResult struct {
 // random 64-bit id; the tracked value of a root is the XOR of all edge ids
 // seen so far (each id appears once when created and once when acked, so
 // the value returns to zero exactly when the whole tree completed).
+//
+// The pending table is sharded by rootID across power-of-two lock stripes
+// so concurrent executors do not serialize on a single mutex: register,
+// transition, and fail touch exactly one shard; sweep and inFlight iterate
+// all of them. Completion results are *returned* to the caller rather than
+// pushed through a callback, so executors can batch deliveries back to the
+// owning spout.
 type acker struct {
+	shards []ackerShard
+	mask   uint64
+
+	timeout time.Duration
+	// nowNs stamps register/complete times; the engine wires it to the
+	// topology's coarse clock so the hot path never calls time.Now.
+	nowNs func() int64
+	// sweepNow is the precise clock the timeout sweep compares against
+	// (coarse-stamped starts age at most one coarse tick early).
+	sweepNow func() time.Time
+}
+
+// ackerShard is one lock stripe of the pending table, padded to a cache
+// line so neighboring shards do not false-share.
+type ackerShard struct {
 	mu      sync.Mutex
 	pending map[uint64]*ackEntry
-	timeout time.Duration
-	now     func() time.Time
-
-	deliver func(ackResult) // routes results back to the owning spout executor
+	_       [64 - 16]byte
 }
 
 type ackEntry struct {
 	msgID    any
 	val      uint64
-	start    time.Time
+	startNs  int64
 	spoutTID int
-	done     bool
 }
 
-func newAcker(timeout time.Duration, deliver func(ackResult)) *acker {
-	return &acker{
-		pending: make(map[uint64]*ackEntry),
-		timeout: timeout,
-		now:     time.Now,
-		deliver: deliver,
+// newAcker builds an acker with the given number of lock shards (rounded
+// up to a power of two, minimum 1). A nil nowNs falls back to the real
+// clock.
+func newAcker(timeout time.Duration, shards int, nowNs func() int64) *acker {
+	n := 1
+	for n < shards {
+		n <<= 1
 	}
+	if nowNs == nil {
+		nowNs = func() int64 { return time.Now().UnixNano() }
+	}
+	a := &acker{
+		shards:   make([]ackerShard, n),
+		mask:     uint64(n - 1),
+		timeout:  timeout,
+		nowNs:    nowNs,
+		sweepNow: time.Now,
+	}
+	for i := range a.shards {
+		a.shards[i].pending = make(map[uint64]*ackEntry)
+	}
+	return a
+}
+
+func (a *acker) shard(rootID uint64) *ackerShard {
+	return &a.shards[rootID&a.mask]
+}
+
+// result builds the completion for e, clamping latency to a nanosecond so
+// sub-coarse-tick completions still register as measured.
+func (a *acker) result(e *ackEntry, ok bool) ackResult {
+	lat := time.Duration(a.nowNs() - e.startNs)
+	if lat < 1 {
+		lat = 1
+	}
+	return ackResult{msgID: e.msgID, ok: ok, latency: lat, spoutTID: e.spoutTID}
 }
 
 // register starts tracking a new root tuple: rootID keys the tree, edgeID
-// is the spout→first-bolt edge.
+// is the XOR of the spout's initial output edges.
 func (a *acker) register(rootID, edgeID uint64, msgID any, spoutTID int) {
-	a.mu.Lock()
-	a.pending[rootID] = &ackEntry{
+	s := a.shard(rootID)
+	s.mu.Lock()
+	s.pending[rootID] = &ackEntry{
 		msgID:    msgID,
 		val:      edgeID,
-		start:    a.now(),
+		startNs:  a.nowNs(),
 		spoutTID: spoutTID,
 	}
-	a.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // transition records a bolt finishing one input edge and creating the
 // given output edges: the tracked value XORs the consumed edge and every
-// produced edge. A zero result completes the root.
-func (a *acker) transition(rootID, consumedEdge uint64, producedEdges []uint64) {
-	a.mu.Lock()
-	e, ok := a.pending[rootID]
-	if !ok || e.done {
-		a.mu.Unlock()
-		return
+// produced edge. A zero result completes the root; the completion is
+// returned for the caller to deliver.
+func (a *acker) transition(rootID, consumedEdge uint64, producedEdges []uint64) (ackResult, bool) {
+	s := a.shard(rootID)
+	s.mu.Lock()
+	e, ok := s.pending[rootID]
+	if !ok {
+		s.mu.Unlock()
+		return ackResult{}, false
 	}
 	e.val ^= consumedEdge
 	for _, p := range producedEdges {
 		e.val ^= p
 	}
-	if e.val == 0 {
-		e.done = true
-		delete(a.pending, rootID)
-		res := ackResult{msgID: e.msgID, ok: true, latency: a.now().Sub(e.start), spoutTID: e.spoutTID}
-		a.mu.Unlock()
-		a.deliver(res)
-		return
+	if e.val != 0 {
+		s.mu.Unlock()
+		return ackResult{}, false
 	}
-	a.mu.Unlock()
+	delete(s.pending, rootID)
+	s.mu.Unlock()
+	return a.result(e, true), true
 }
 
-// fail fails a root immediately (a bolt called Fail on a descendant).
-func (a *acker) fail(rootID uint64) {
-	a.mu.Lock()
-	e, ok := a.pending[rootID]
-	if !ok || e.done {
-		a.mu.Unlock()
-		return
+// fail fails a root immediately (a bolt called Fail on a descendant),
+// returning the completion for the caller to deliver.
+func (a *acker) fail(rootID uint64) (ackResult, bool) {
+	s := a.shard(rootID)
+	s.mu.Lock()
+	e, ok := s.pending[rootID]
+	if !ok {
+		s.mu.Unlock()
+		return ackResult{}, false
 	}
-	e.done = true
-	delete(a.pending, rootID)
-	res := ackResult{msgID: e.msgID, ok: false, latency: a.now().Sub(e.start), spoutTID: e.spoutTID}
-	a.mu.Unlock()
-	a.deliver(res)
+	delete(s.pending, rootID)
+	s.mu.Unlock()
+	return a.result(e, false), true
 }
 
-// sweep fails every root older than the timeout and returns how many it
-// failed. The cluster calls it periodically.
-func (a *acker) sweep() int {
+// sweep fails every root older than the timeout and returns the expired
+// completions. The topology's sweeper goroutine calls it periodically and
+// routes the results back to their spouts.
+func (a *acker) sweep() []ackResult {
 	if a.timeout <= 0 {
-		return 0
+		return nil
 	}
-	cutoff := a.now().Add(-a.timeout)
+	cutoffNs := a.sweepNow().Add(-a.timeout).UnixNano()
 	var expired []ackResult
-	a.mu.Lock()
-	for id, e := range a.pending {
-		if e.start.Before(cutoff) {
-			e.done = true
-			delete(a.pending, id)
-			expired = append(expired, ackResult{
-				msgID: e.msgID, ok: false,
-				latency:  a.now().Sub(e.start),
-				spoutTID: e.spoutTID,
-			})
+	for i := range a.shards {
+		s := &a.shards[i]
+		s.mu.Lock()
+		for id, e := range s.pending {
+			if e.startNs < cutoffNs {
+				delete(s.pending, id)
+				expired = append(expired, a.result(e, false))
+			}
 		}
+		s.mu.Unlock()
 	}
-	a.mu.Unlock()
-	for _, r := range expired {
-		a.deliver(r)
-	}
-	return len(expired)
+	return expired
 }
 
 // inFlight returns the number of incomplete tracked roots.
 func (a *acker) inFlight() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return len(a.pending)
+	total := 0
+	for i := range a.shards {
+		s := &a.shards[i]
+		s.mu.Lock()
+		total += len(s.pending)
+		s.mu.Unlock()
+	}
+	return total
 }

@@ -1,41 +1,28 @@
 package dsps
 
 import (
-	"sync"
 	"testing"
 	"time"
 )
 
-// collectAcks builds an acker whose results land in a slice.
-func collectAcks(timeout time.Duration) (*acker, *[]ackResult, *sync.Mutex) {
-	var mu sync.Mutex
-	var got []ackResult
-	a := newAcker(timeout, func(r ackResult) {
-		mu.Lock()
-		got = append(got, r)
-		mu.Unlock()
-	})
-	return a, &got, &mu
+// testAcker builds an acker on the real clock with a handful of shards so
+// tests exercise the striped table.
+func testAcker(timeout time.Duration) *acker {
+	return newAcker(timeout, 4, nil)
 }
 
 func TestAckerLinearChainCompletes(t *testing.T) {
-	a, got, mu := collectAcks(time.Minute)
+	a := testAcker(time.Minute)
 	// Spout emits edge e1; bolt A consumes e1 and produces e2; bolt B
 	// consumes e2 and produces nothing.
 	const root, e1, e2 = 100, 11, 22
 	a.register(root, e1, "m1", 0)
-	a.transition(root, e1, []uint64{e2})
-	mu.Lock()
-	n := len(*got)
-	mu.Unlock()
-	if n != 0 {
+	if _, done := a.transition(root, e1, []uint64{e2}); done {
 		t.Fatal("completed before leaf acked")
 	}
-	a.transition(root, e2, nil)
-	mu.Lock()
-	defer mu.Unlock()
-	if len(*got) != 1 || !(*got)[0].ok || (*got)[0].msgID != "m1" {
-		t.Fatalf("results = %+v", *got)
+	r, done := a.transition(root, e2, nil)
+	if !done || !r.ok || r.msgID != "m1" {
+		t.Fatalf("result = %+v, done = %v", r, done)
 	}
 	if a.inFlight() != 0 {
 		t.Fatal("entry not removed after completion")
@@ -45,75 +32,67 @@ func TestAckerLinearChainCompletes(t *testing.T) {
 func TestAckerOutOfOrderTransitions(t *testing.T) {
 	// The XOR tree is order-independent: the downstream ack may arrive
 	// before the upstream transition that created its edge.
-	a, got, mu := collectAcks(time.Minute)
+	a := testAcker(time.Minute)
 	const root, e1, e2 = 200, 31, 32
 	a.register(root, e1, "m", 0)
-	a.transition(root, e2, nil)          // leaf acks first
-	a.transition(root, e1, []uint64{e2}) // then the producer
-	mu.Lock()
-	defer mu.Unlock()
-	if len(*got) != 1 || !(*got)[0].ok {
-		t.Fatalf("results = %+v", *got)
+	if _, done := a.transition(root, e2, nil); done { // leaf acks first
+		t.Fatal("completed on leaf alone")
+	}
+	r, done := a.transition(root, e1, []uint64{e2}) // then the producer
+	if !done || !r.ok {
+		t.Fatalf("result = %+v, done = %v", r, done)
 	}
 }
 
 func TestAckerFanOutTree(t *testing.T) {
-	a, got, mu := collectAcks(time.Minute)
+	a := testAcker(time.Minute)
 	// Spout emits two copies (e1, e2); each bolt copy emits two more.
 	const root = 300
 	edges := []uint64{1, 2, 3, 4, 5, 6}
 	a.register(root, edges[0]^edges[1], "m", 0)
-	a.transition(root, edges[0], []uint64{edges[2], edges[3]})
-	a.transition(root, edges[1], []uint64{edges[4], edges[5]})
-	for _, leaf := range edges[2:] {
-		mu.Lock()
-		if len(*got) != 0 {
-			mu.Unlock()
-			t.Fatal("completed early")
-		}
-		mu.Unlock()
-		a.transition(root, leaf, nil)
+	if _, done := a.transition(root, edges[0], []uint64{edges[2], edges[3]}); done {
+		t.Fatal("completed early")
 	}
-	mu.Lock()
-	defer mu.Unlock()
-	if len(*got) != 1 || !(*got)[0].ok {
-		t.Fatalf("results = %+v", *got)
+	if _, done := a.transition(root, edges[1], []uint64{edges[4], edges[5]}); done {
+		t.Fatal("completed early")
+	}
+	for i, leaf := range edges[2:] {
+		r, done := a.transition(root, leaf, nil)
+		if last := i == len(edges[2:])-1; done != last {
+			t.Fatalf("leaf %d: done = %v", i, done)
+		} else if last && (!r.ok || r.msgID != "m") {
+			t.Fatalf("result = %+v", r)
+		}
 	}
 }
 
 func TestAckerExplicitFail(t *testing.T) {
-	a, got, mu := collectAcks(time.Minute)
+	a := testAcker(time.Minute)
 	a.register(1, 5, "m", 3)
-	a.fail(1)
-	mu.Lock()
-	if len(*got) != 1 || (*got)[0].ok || (*got)[0].spoutTID != 3 {
-		mu.Unlock()
-		t.Fatalf("results = %+v", *got)
+	r, done := a.fail(1)
+	if !done || r.ok || r.spoutTID != 3 {
+		t.Fatalf("result = %+v, done = %v", r, done)
 	}
-	mu.Unlock()
 	// Late transitions for a failed root are ignored.
-	a.transition(1, 5, nil)
-	a.fail(1)
-	mu.Lock()
-	defer mu.Unlock()
-	if len(*got) != 1 {
-		t.Fatal("failed root delivered twice")
+	if _, done := a.transition(1, 5, nil); done {
+		t.Fatal("failed root completed again")
+	}
+	if _, done := a.fail(1); done {
+		t.Fatal("failed root failed twice")
 	}
 }
 
 func TestAckerTimeoutSweep(t *testing.T) {
-	a, got, mu := collectAcks(10 * time.Millisecond)
+	a := testAcker(10 * time.Millisecond)
 	a.register(1, 5, "old", 0)
 	time.Sleep(20 * time.Millisecond)
 	a.register(2, 6, "fresh", 0)
-	n := a.sweep()
-	if n != 1 {
-		t.Fatalf("sweep failed %d roots, want 1", n)
+	expired := a.sweep()
+	if len(expired) != 1 {
+		t.Fatalf("sweep failed %d roots, want 1", len(expired))
 	}
-	mu.Lock()
-	defer mu.Unlock()
-	if len(*got) != 1 || (*got)[0].ok || (*got)[0].msgID != "old" {
-		t.Fatalf("results = %+v", *got)
+	if expired[0].ok || expired[0].msgID != "old" {
+		t.Fatalf("expired = %+v", expired[0])
 	}
 	if a.inFlight() != 1 {
 		t.Fatalf("inFlight = %d, want the fresh root", a.inFlight())
@@ -121,37 +100,71 @@ func TestAckerTimeoutSweep(t *testing.T) {
 }
 
 func TestAckerSweepDisabledWithoutTimeout(t *testing.T) {
-	a, _, _ := collectAcks(0)
+	a := testAcker(0)
 	a.register(1, 5, "m", 0)
-	if n := a.sweep(); n != 0 {
-		t.Fatalf("sweep with no timeout failed %d", n)
+	if expired := a.sweep(); len(expired) != 0 {
+		t.Fatalf("sweep with no timeout failed %d", len(expired))
 	}
 }
 
 func TestAckerUnknownRootIgnored(t *testing.T) {
-	a, got, mu := collectAcks(time.Minute)
-	a.transition(999, 1, nil)
-	a.fail(999)
-	mu.Lock()
-	defer mu.Unlock()
-	if len(*got) != 0 {
-		t.Fatalf("unknown root produced results: %+v", *got)
+	a := testAcker(time.Minute)
+	if _, done := a.transition(999, 1, nil); done {
+		t.Fatal("unknown root completed")
+	}
+	if _, done := a.fail(999); done {
+		t.Fatal("unknown root failed")
 	}
 }
 
 func TestAckerLatencyMeasured(t *testing.T) {
-	a, got, mu := collectAcks(time.Minute)
-	base := time.Now()
-	step := 0
-	a.now = func() time.Time {
-		step++
-		return base.Add(time.Duration(step) * 10 * time.Millisecond)
+	a := testAcker(time.Minute)
+	stepNs := int64(0)
+	a.nowNs = func() int64 {
+		stepNs += int64(10 * time.Millisecond)
+		return stepNs
 	}
 	a.register(1, 5, "m", 0) // now = +10ms
-	a.transition(1, 5, nil)  // now = +20ms
-	mu.Lock()
-	defer mu.Unlock()
-	if (*got)[0].latency != 10*time.Millisecond {
-		t.Fatalf("latency = %v", (*got)[0].latency)
+	r, done := a.transition(1, 5, nil) // now = +20ms
+	if !done || r.latency != 10*time.Millisecond {
+		t.Fatalf("latency = %v, done = %v", r.latency, done)
+	}
+}
+
+func TestAckerShardsRoundUpToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16},
+	} {
+		a := newAcker(time.Minute, tc.in, nil)
+		if len(a.shards) != tc.want {
+			t.Errorf("shards(%d) = %d, want %d", tc.in, len(a.shards), tc.want)
+		}
+	}
+}
+
+func TestAckerRootsSpreadAcrossShards(t *testing.T) {
+	a := newAcker(time.Minute, 4, nil)
+	for root := uint64(1); root <= 64; root++ {
+		a.register(root, root*7, root, 0)
+	}
+	if a.inFlight() != 64 {
+		t.Fatalf("inFlight = %d, want 64", a.inFlight())
+	}
+	occupied := 0
+	for i := range a.shards {
+		if len(a.shards[i].pending) > 0 {
+			occupied++
+		}
+	}
+	if occupied != len(a.shards) {
+		t.Fatalf("sequential roots occupy %d/%d shards", occupied, len(a.shards))
+	}
+	for root := uint64(1); root <= 64; root++ {
+		if _, done := a.transition(root, root*7, nil); !done {
+			t.Fatalf("root %d did not complete", root)
+		}
+	}
+	if a.inFlight() != 0 {
+		t.Fatalf("inFlight = %d after completing all", a.inFlight())
 	}
 }

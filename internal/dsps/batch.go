@@ -1,0 +1,100 @@
+package dsps
+
+// Data-plane batching support: tuple arenas and batch-slice free lists.
+// Together they make the steady-state emit/execute path allocation-free —
+// tuples come out of chunked arenas (amortized one allocation per
+// arenaChunk tuples) and the []envelope / []ackResult batches that ride
+// the executor channels are recycled through free lists.
+
+// arenaChunk is how many Tuples a tupleArena allocates at once.
+const arenaChunk = 256
+
+// tupleArena hands out Tuples from a chunk, never reusing one: bolts may
+// legally retain *Tuple past Execute (anchoring, windowing), so individual
+// tuples cannot be recycled. Chunking still amortizes the allocation to
+// 1/arenaChunk per tuple, and a retained tuple merely keeps its chunk
+// alive until the GC collects it. Owned by a single executor goroutine.
+type tupleArena struct {
+	chunk []Tuple
+	next  int
+}
+
+// get returns a zeroed *Tuple; the caller initializes every field it
+// needs.
+func (a *tupleArena) get() *Tuple {
+	if a.next == len(a.chunk) {
+		a.chunk = make([]Tuple, arenaChunk)
+		a.next = 0
+	}
+	t := &a.chunk[a.next]
+	a.next++
+	return t
+}
+
+// freeListCap bounds how many idle batch slices each free list retains;
+// overflow is dropped to the GC.
+const freeListCap = 256
+
+// freeLists recycles the batch slices flowing through executor channels.
+// Gets and puts are non-blocking channel operations, so they are safe from
+// any goroutine and never alloc on the Put side (unlike sync.Pool, whose
+// interface conversion boxes the slice header).
+type freeLists struct {
+	envs chan []envelope
+	acks chan []ackResult
+}
+
+func newFreeLists() *freeLists {
+	return &freeLists{
+		envs: make(chan []envelope, freeListCap),
+		acks: make(chan []ackResult, freeListCap),
+	}
+}
+
+// getEnvs returns an empty envelope batch with at least its previous
+// capacity, falling back to a fresh allocation of capHint.
+func (f *freeLists) getEnvs(capHint int) []envelope {
+	select {
+	case b := <-f.envs:
+		return b[:0]
+	default:
+		return make([]envelope, 0, capHint)
+	}
+}
+
+// putEnvs recycles a batch, clearing tuple pointers so a parked slice
+// does not pin arena chunks.
+func (f *freeLists) putEnvs(b []envelope) {
+	if cap(b) == 0 {
+		return
+	}
+	for i := range b {
+		b[i] = envelope{}
+	}
+	select {
+	case f.envs <- b:
+	default:
+	}
+}
+
+func (f *freeLists) getAcks(capHint int) []ackResult {
+	select {
+	case b := <-f.acks:
+		return b[:0]
+	default:
+		return make([]ackResult, 0, capHint)
+	}
+}
+
+func (f *freeLists) putAcks(b []ackResult) {
+	if cap(b) == 0 {
+		return
+	}
+	for i := range b {
+		b[i] = ackResult{}
+	}
+	select {
+	case f.acks <- b:
+	default:
+	}
+}

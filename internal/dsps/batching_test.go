@@ -1,0 +1,66 @@
+package dsps
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBatchingBackpressureBoundsSpout pins the tuple-denominated queue
+// bound under micro-batching: when the downstream queue is full (stalled
+// consumer), the spout's emission stream must wedge — tiny partial batches
+// must not collapse the queue's effective capacity, and batch buffering
+// must not let the producer run ahead of the bound.
+func TestBatchingBackpressureBoundsSpout(t *testing.T) {
+	var emitted atomic.Int64
+	var col SpoutCollector
+	spout := &SpoutFunc{
+		OpenFn: func(_ TopologyContext, c SpoutCollector) { col = c },
+		NextFn: func() bool {
+			// Unanchored: MaxSpoutPending does not bound this stream, so the
+			// only thing that can stop it is queue backpressure.
+			col.Emit(Values{int(emitted.Add(1))}, nil)
+			return true
+		},
+	}
+	b := NewTopologyBuilder("batchbp")
+	b.SetSpout("src", func() Spout { return spout }, 1, "n")
+	b.SetBolt("sink", func() Bolt { return &sinkBolt{} }, 1).ShuffleGrouping("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const queueSize, batchSize = 16, 8
+	c := testCluster(func(cfg *ClusterConfig) {
+		cfg.QueueSize = queueSize
+		cfg.BatchSize = batchSize
+		cfg.FlushInterval = time.Millisecond
+	})
+	if err := c.Submit(topo, SubmitConfig{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	// Stall the sink's worker and let the pipeline wedge.
+	if err := c.InjectFault("worker-1", Fault{Stall: true}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	before := emitted.Load()
+	time.Sleep(150 * time.Millisecond)
+	after := emitted.Load()
+	// While stalled, the spout may at most top up the queue (queueSize
+	// tuples) plus one in-flight batch buffer; sustained emission means
+	// backpressure leaked.
+	if after-before > queueSize+batchSize {
+		t.Fatalf("spout kept emitting against a full queue: %d -> %d", before, after)
+	}
+	// Clearing the stall releases the backpressure and the stream resumes.
+	c.ClearFault("worker-1")
+	deadline := time.Now().Add(3 * time.Second)
+	for emitted.Load() < after+10*queueSize && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := emitted.Load(); got < after+10*queueSize {
+		t.Fatalf("spout did not resume after stall cleared: emitted %d", got)
+	}
+}

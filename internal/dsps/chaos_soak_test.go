@@ -51,6 +51,35 @@ func soakEngineTopology(t *testing.T) *dsps.Topology {
 // stretches the horizon for `make soak`. Any violation reproduces from the
 // printed seed.
 func TestChaosSoakEngine(t *testing.T) {
+	runChaosSoak(t, dsps.ClusterConfig{
+		Nodes:           2,
+		QueueSize:       64,
+		MaxSpoutPending: 128,
+		AckTimeout:      300 * time.Millisecond,
+		Delayer:         dsps.NopDelayer{},
+		Seed:            7,
+	})
+}
+
+// TestChaosSoakEngineBatched re-runs the soak with explicit data-plane
+// knobs (small batches, sub-millisecond flush, a non-default shard count)
+// so the invariant checker audits the batching path itself, not just the
+// engine defaults.
+func TestChaosSoakEngineBatched(t *testing.T) {
+	runChaosSoak(t, dsps.ClusterConfig{
+		Nodes:           2,
+		QueueSize:       64,
+		MaxSpoutPending: 128,
+		AckTimeout:      300 * time.Millisecond,
+		Delayer:         dsps.NopDelayer{},
+		Seed:            11,
+		AckerShards:     2,
+		BatchSize:       16,
+		FlushInterval:   200 * time.Microsecond,
+	})
+}
+
+func runChaosSoak(t *testing.T, cfg dsps.ClusterConfig) {
 	horizon := 1200 * time.Millisecond
 	events := 16
 	if s := os.Getenv("CHAOS_SOAK_SECONDS"); s != "" {
@@ -60,20 +89,13 @@ func TestChaosSoakEngine(t *testing.T) {
 		}
 	}
 	topo := soakEngineTopology(t)
-	c := dsps.NewCluster(dsps.ClusterConfig{
-		Nodes:           2,
-		QueueSize:       64,
-		MaxSpoutPending: 128,
-		AckTimeout:      300 * time.Millisecond,
-		Delayer:         dsps.NopDelayer{},
-		Seed:            7,
-	})
+	c := dsps.NewCluster(cfg)
 	if err := c.Submit(topo, dsps.SubmitConfig{Workers: 4}); err != nil {
 		t.Fatal(err)
 	}
 	defer c.Shutdown()
 
-	script := chaos.Generate(7, chaos.GenConfig{
+	script := chaos.Generate(cfg.Seed, chaos.GenConfig{
 		Events:  events,
 		Horizon: horizon,
 		Workers: 4,

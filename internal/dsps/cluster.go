@@ -30,6 +30,17 @@ type ClusterConfig struct {
 	// service cost: factor = 1 + alpha·max(0, busy-cores)/cores.
 	// Default 1.
 	InterferenceAlpha float64
+	// AckerShards is the number of lock stripes in the acker's pending
+	// table, rounded up to a power of two; default 8.
+	AckerShards int
+	// BatchSize caps how many envelopes ride one data-plane batch; the
+	// effective size is clamped to QueueSize. Default 32.
+	BatchSize int
+	// FlushInterval bounds how long a partially filled spout output batch
+	// may wait before being flushed downstream; default 1ms. Keep it well
+	// under Drain's 20ms settle window so quiescence detection stays
+	// sound.
+	FlushInterval time.Duration
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -56,6 +67,15 @@ func (c ClusterConfig) withDefaults() ClusterConfig {
 	}
 	if c.InterferenceAlpha == 0 {
 		c.InterferenceAlpha = 1
+	}
+	if c.AckerShards <= 0 {
+		c.AckerShards = 8
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = time.Millisecond
 	}
 	return c
 }
@@ -401,7 +421,8 @@ func (c *Cluster) Snapshot() *Snapshot {
 				CompleteHist:    t.counters.completeHist.snapshot(),
 			}
 			if t.inCh != nil {
-				ts.QueueLen = len(t.inCh)
+				// queued is reservation-accurate: 0 ≤ queued ≤ QueueSize.
+				ts.QueueLen = int(t.queued.Load())
 			}
 			snap.Tasks = append(snap.Tasks, ts)
 			ws := perWorker[t.worker.id]

@@ -1,0 +1,86 @@
+package dsps
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// runSeeded runs a small two-stage topology (shuffle fan-out into a
+// fields-grouped counter) to completion and returns the per-task counter
+// fingerprint.
+func runSeeded(t *testing.T, seed int64) map[string]string {
+	t.Helper()
+	spout := &wordSpout{words: []string{"a", "b", "c", "d", "e"}, limit: 500}
+	b := NewTopologyBuilder("det")
+	b.SetSpout("src", func() Spout { return spout }, 1, "word")
+	b.SetBolt("pass", func() Bolt { return &relayBolt{} }, 2, "word").ShuffleGrouping("src")
+	b.SetBolt("count", func() Bolt { return &wordCounter{} }, 3).FieldsGrouping("pass", "word")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCluster(func(cfg *ClusterConfig) { cfg.Seed = seed })
+	if err := c.Submit(topo, SubmitConfig{Workers: 3}); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if !c.Drain(10 * time.Second) {
+		t.Fatal("did not drain")
+	}
+	snap := c.Snapshot()
+	out := map[string]string{}
+	for _, comp := range []string{"src", "pass", "count"} {
+		for _, ts := range snap.ComponentTasks(comp) {
+			key := fmt.Sprintf("%s/%d", comp, ts.TaskIndex)
+			out[key] = fmt.Sprintf("exec=%d emit=%d acked=%d failed=%d",
+				ts.Executed, ts.Emitted, ts.Acked, ts.Failed)
+		}
+	}
+	return out
+}
+
+// TestSeedDeterminism pins the engine's reproducibility contract: the same
+// topology under the same cluster seed lands every tuple on the same task
+// — round-robin shuffle order, fields hashing, and the splitmix64 edge-id
+// streams all derive from the seed, not from scheduling.
+func TestSeedDeterminism(t *testing.T) {
+	first := runSeeded(t, 42)
+	second := runSeeded(t, 42)
+	if len(first) != len(second) {
+		t.Fatalf("task sets differ: %d vs %d", len(first), len(second))
+	}
+	for k, v := range first {
+		if second[k] != v {
+			t.Errorf("task %s diverged: %q vs %q", k, v, second[k])
+		}
+	}
+	// Sanity: the run did real work.
+	if first["src/0"] != "exec=500 emit=500 acked=500 failed=0" {
+		t.Fatalf("unexpected spout tally: %q", first["src/0"])
+	}
+}
+
+// TestEdgeIDStreamDeterministic pins the splitmix64 draw: identical task
+// seeds yield identical non-zero edge-id streams, distinct seeds diverge.
+func TestEdgeIDStreamDeterministic(t *testing.T) {
+	a := &task{edgeState: 7}
+	b := &task{edgeState: 7}
+	c := &task{edgeState: 8}
+	var diverged bool
+	for i := 0; i < 1000; i++ {
+		av, bv, cv := a.nextEdgeID(), b.nextEdgeID(), c.nextEdgeID()
+		if av == 0 || bv == 0 || cv == 0 {
+			t.Fatal("zero edge id drawn")
+		}
+		if av != bv {
+			t.Fatalf("same-seed streams diverged at draw %d: %x vs %x", i, av, bv)
+		}
+		if av != cv {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("distinct seeds produced identical streams")
+	}
+}

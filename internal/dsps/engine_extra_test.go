@@ -16,14 +16,7 @@ func ackerRandomTreeProperty(seed int64, fanRaw, depthRaw uint8) bool {
 	fan := int(fanRaw%3) + 1   // children per node: 1..3
 	depth := int(depthRaw % 4) // tree depth: 0..3
 	rng := rand.New(rand.NewSource(seed))
-
-	var mu sync.Mutex
-	var results []ackResult
-	a := newAcker(time.Minute, func(r ackResult) {
-		mu.Lock()
-		results = append(results, r)
-		mu.Unlock()
-	})
+	a := newAcker(time.Minute, 4, nil)
 
 	// Build the tree: each node is an edge id; children produced when
 	// the parent is consumed.
@@ -64,20 +57,21 @@ func ackerRandomTreeProperty(seed int64, fanRaw, depthRaw uint8) bool {
 	walk(root)
 	rng.Shuffle(len(trans), func(i, j int) { trans[i], trans[j] = trans[j], trans[i] })
 
+	completions := 0
+	var last ackResult
 	for i, tr := range trans {
-		mu.Lock()
-		done := len(results)
-		mu.Unlock()
-		if done != 0 && i < len(trans) {
-			// Completed before all transitions were applied: only a
-			// bug (or an astronomically improbable XOR collision).
-			return false
+		r, done := a.transition(rootID, tr.consumed, tr.produced)
+		if done {
+			if i != len(trans)-1 {
+				// Completed before all transitions were applied: only a
+				// bug (or an astronomically improbable XOR collision).
+				return false
+			}
+			completions++
+			last = r
 		}
-		a.transition(rootID, tr.consumed, tr.produced)
 	}
-	mu.Lock()
-	defer mu.Unlock()
-	return len(results) == 1 && results[0].ok && a.inFlight() == 0
+	return completions == 1 && last.ok && a.inFlight() == 0
 }
 
 // TestPropertyAckerRandomTrees is the quick.Check regression form of the

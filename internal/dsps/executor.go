@@ -9,17 +9,28 @@ import (
 	"time"
 )
 
-// envelope wraps a tuple in transit with its enqueue timestamp.
+// envelope wraps a tuple in transit with its (coarse-clock) enqueue
+// timestamp.
 type envelope struct {
 	tuple      *Tuple
-	enqueuedAt time.Time
+	enqueuedNs int64
 }
 
 // edge is one subscription: tuples from source fan out via grouping to the
 // ordered target tasks.
 type edge struct {
 	grouping Grouping
+	single   singleSelector // non-nil fast path when grouping picks one target
 	targets  []*task
+}
+
+// outBuf accumulates envelopes bound for one (edge, target) pair until a
+// size- or deadline-triggered flush hands the whole batch to the target's
+// input channel. Owned by the emitting executor goroutine.
+type outBuf struct {
+	target *task
+	edge   *edge
+	envs   []envelope
 }
 
 // task is one executor: a single goroutine running one spout or bolt
@@ -36,12 +47,33 @@ type task struct {
 	spout Spout
 	bolt  Bolt
 
-	inCh  chan envelope  // bolts only
-	ackCh chan ackResult // spouts only
-	rng   *rand.Rand     // owned by the executor goroutine
+	inCh  chan []envelope  // bolts only
+	ackCh chan []ackResult // spouts only
+	space chan struct{}    // bolts only: capacity-freed wakeup signal
+	rng   *rand.Rand       // fault-probability draws; executor-goroutine-local
+
+	// queued counts tuples reserved against this task's QueueSize bound:
+	// producers CAS-reserve before sending a batch (reserve) and the
+	// consumer releases at receive, so it is exact — never negative,
+	// never above QueueSize — even though batches vary in size.
+	queued atomic.Int64
+	// outPending counts envelopes sitting in this task's out-buffers,
+	// emitted but not yet flushed downstream; quiescence requires zero.
+	outPending atomic.Int64
 
 	counters taskCounters
 	pending  int // spout: un-acked roots; executor-goroutine-local
+
+	// Emit-path state, owned by the executor goroutine.
+	edgeState  uint64 // splitmix64 state for edge-id draws
+	arena      tupleArena
+	outEdges   []*edge
+	outFields  []string
+	edgeBase   []int    // outs offset of each outEdges entry
+	outs       []outBuf // flat per-(edge,target) buffers, edge-major
+	selScratch []int    // routing selections (outs indices), reused
+	idScratch  []uint64 // spout edge-id staging, reused
+	firstBufNs int64    // coarse stamp of oldest unflushed envelope, 0 if none
 }
 
 // runningTopology is the live runtime of a submitted topology.
@@ -50,17 +82,21 @@ type runningTopology struct {
 	topo    *Topology
 	cfg     ClusterConfig
 
-	workers []*workerProc
-	tasks   []*task
-	edges   map[string][]*edge // source component -> downstream edges
-	acker   *acker
+	workers  []*workerProc
+	tasks    []*task
+	taskByID map[int]*task
+	edges    map[string][]*edge // source component -> downstream edges
+	acker    *acker
+
+	clock    coarseClock
+	fl       *freeLists
+	effBatch int   // envelopes per batch, min(BatchSize, QueueSize)
+	flushNs  int64 // FlushInterval in nanoseconds
 
 	ctx          context.Context
 	cancel       context.CancelFunc
 	wg           sync.WaitGroup
 	spoutsPaused atomic.Bool
-	rngMu        sync.Mutex
-	rng          *rand.Rand
 }
 
 // buildRuntime schedules the topology: workers round-robin over nodes,
@@ -68,12 +104,22 @@ type runningTopology struct {
 // mirroring Storm's even scheduler.
 func (c *Cluster) buildRuntime(t *Topology, sc SubmitConfig) (*runningTopology, error) {
 	rt := &runningTopology{
-		cluster: c,
-		topo:    t,
-		cfg:     c.cfg,
-		edges:   make(map[string][]*edge),
-		rng:     rand.New(rand.NewSource(c.cfg.Seed)),
+		cluster:  c,
+		topo:     t,
+		cfg:      c.cfg,
+		taskByID: make(map[int]*task),
+		edges:    make(map[string][]*edge),
+		fl:       newFreeLists(),
 	}
+	rt.effBatch = c.cfg.BatchSize
+	if rt.effBatch > c.cfg.QueueSize {
+		rt.effBatch = c.cfg.QueueSize
+	}
+	if rt.effBatch < 1 {
+		rt.effBatch = 1
+	}
+	rt.flushNs = int64(c.cfg.FlushInterval)
+	rt.clock.ns.Store(time.Now().UnixNano())
 	rt.ctx, rt.cancel = context.WithCancel(context.Background())
 	// Worker and task ids are cluster-global so concurrently running
 	// topologies never collide in the fault registry or snapshots.
@@ -102,7 +148,7 @@ func (c *Cluster) buildRuntime(t *Topology, sc SubmitConfig) (*runningTopology, 
 		placed++
 		return rt.workers[idx%len(rt.workers)]
 	}
-	// Seed per-task rngs off the cluster-global task counter so
+	// Seed per-task randomness off the cluster-global task counter so
 	// concurrently running topologies draw distinct edge-id streams.
 	taskSeed := c.cfg.Seed + int64(c.nextTask)
 	for _, sd := range t.spouts {
@@ -116,14 +162,16 @@ func (c *Cluster) buildRuntime(t *Topology, sc SubmitConfig) (*runningTopology, 
 				worker:    place(),
 				execCost:  sd.execCost,
 				spout:     sd.factory(),
-				ackCh:     make(chan ackResult, c.cfg.MaxSpoutPending),
+				ackCh:     make(chan []ackResult, c.cfg.MaxSpoutPending),
 				rng:       rand.New(rand.NewSource(taskSeed)),
+				edgeState: uint64(taskSeed),
 			}
 			if tk.spout == nil {
 				rt.cancel()
 				return nil, fmt.Errorf("dsps: spout factory for %q returned nil", sd.name)
 			}
 			rt.tasks = append(rt.tasks, tk)
+			rt.taskByID[tk.id] = tk
 			c.nextTask++
 		}
 	}
@@ -138,15 +186,22 @@ func (c *Cluster) buildRuntime(t *Topology, sc SubmitConfig) (*runningTopology, 
 				worker:       place(),
 				execCost:     bd.execCost,
 				tickInterval: bd.tickInterval,
-				bolt:         bd.factory(),
-				inCh:         make(chan envelope, c.cfg.QueueSize),
-				rng:          rand.New(rand.NewSource(taskSeed)),
+				bolt: bd.factory(),
+				// The queue bound is enforced in tuples by reserve();
+				// sizing the channel at QueueSize slots means a reserved
+				// batch (≥1 tuple each) always finds a free slot, so the
+				// send after a successful reservation never blocks.
+				inCh:  make(chan []envelope, c.cfg.QueueSize),
+				space: make(chan struct{}, 1),
+				rng:   rand.New(rand.NewSource(taskSeed)),
+				edgeState:    uint64(taskSeed),
 			}
 			if tk.bolt == nil {
 				rt.cancel()
 				return nil, fmt.Errorf("dsps: bolt factory for %q returned nil", bd.name)
 			}
 			rt.tasks = append(rt.tasks, tk)
+			rt.taskByID[tk.id] = tk
 			c.nextTask++
 		}
 	}
@@ -157,13 +212,29 @@ func (c *Cluster) buildRuntime(t *Topology, sc SubmitConfig) (*runningTopology, 
 	}
 	for _, bd := range t.bolts {
 		for _, sub := range bd.subs {
-			rt.edges[sub.source] = append(rt.edges[sub.source], &edge{
+			e := &edge{
 				grouping: sub.grouping,
 				targets:  byComponent[bd.name],
-			})
+			}
+			if s, ok := sub.grouping.(singleSelector); ok {
+				e.single = s
+			}
+			rt.edges[sub.source] = append(rt.edges[sub.source], e)
 		}
 	}
-	rt.acker = newAcker(c.cfg.AckTimeout, rt.deliverAck)
+	// Precompute each task's emit-path state: its outgoing edges, output
+	// schema, and one out-buffer per (edge, target).
+	for _, tk := range rt.tasks {
+		tk.outEdges = rt.edges[tk.component]
+		tk.outFields = rt.fieldsOf(tk.component)
+		for _, e := range tk.outEdges {
+			tk.edgeBase = append(tk.edgeBase, len(tk.outs))
+			for _, tgt := range e.targets {
+				tk.outs = append(tk.outs, outBuf{target: tgt, edge: e})
+			}
+		}
+	}
+	rt.acker = newAcker(c.cfg.AckTimeout, c.cfg.AckerShards, rt.clock.nowNs)
 	return rt, nil
 }
 
@@ -182,19 +253,23 @@ func (rt *runningTopology) fieldsOf(component string) []string {
 	return nil
 }
 
-func (rt *runningTopology) deliverAck(r ackResult) {
-	for _, tk := range rt.tasks {
-		if tk.id == r.spoutTID {
-			select {
-			case tk.ackCh <- r:
-			case <-rt.ctx.Done():
-			}
-			return
-		}
+// sendAcks delivers a batch of completions to a spout task, bailing out on
+// shutdown. The ack channel holds MaxSpoutPending batches and at most
+// MaxSpoutPending roots are incomplete at once, so in practice this never
+// blocks.
+func (rt *runningTopology) sendAcks(sp *task, results []ackResult) {
+	select {
+	case sp.ackCh <- results:
+	case <-rt.ctx.Done():
 	}
 }
 
 func (rt *runningTopology) start() {
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		rt.clock.run(rt.ctx)
+	}()
 	for _, tk := range rt.tasks {
 		rt.wg.Add(1)
 		if tk.spout != nil {
@@ -203,7 +278,8 @@ func (rt *runningTopology) start() {
 			go rt.runBolt(tk)
 		}
 	}
-	// Ack-timeout sweeper.
+	// Ack-timeout sweeper: expired roots are grouped per spout and
+	// delivered in batches (cold path, so the per-sweep map is fine).
 	rt.wg.Add(1)
 	go func() {
 		defer rt.wg.Done()
@@ -218,7 +294,19 @@ func (rt *runningTopology) start() {
 			case <-rt.ctx.Done():
 				return
 			case <-ticker.C:
-				rt.acker.sweep()
+				expired := rt.acker.sweep()
+				if len(expired) == 0 {
+					continue
+				}
+				bySpout := map[*task][]ackResult{}
+				for _, r := range expired {
+					if sp := rt.taskByID[r.spoutTID]; sp != nil {
+						bySpout[sp] = append(bySpout[sp], r)
+					}
+				}
+				for sp, rs := range bySpout {
+					rt.sendAcks(sp, rs)
+				}
 			}
 		}
 	}()
@@ -251,13 +339,14 @@ func (rt *runningTopology) progress() int64 {
 	return total
 }
 
-// quiescent reports whether no tuples are queued or tracked in flight.
+// quiescent reports whether no tuples are queued, buffered in producers,
+// or tracked in flight.
 func (rt *runningTopology) quiescent() bool {
 	if rt.acker.inFlight() > 0 {
 		return false
 	}
 	for _, tk := range rt.tasks {
-		if tk.inCh != nil && len(tk.inCh) > 0 {
+		if tk.queued.Load() != 0 || tk.outPending.Load() != 0 {
 			return false
 		}
 		if tk.ackCh != nil && len(tk.ackCh) > 0 {
@@ -267,12 +356,164 @@ func (rt *runningTopology) quiescent() bool {
 	return true
 }
 
-// nextEdgeID draws a non-zero random edge id. Edge ids of zero would be
-// invisible to the XOR tree.
+// nextEdgeID draws a non-zero edge id from the task's splitmix64 stream —
+// a few arithmetic ops instead of a math/rand call, seeded per task so
+// runs are reproducible. Edge ids of zero would be invisible to the XOR
+// tree.
 func (tk *task) nextEdgeID() uint64 {
 	for {
-		if v := tk.rng.Uint64(); v != 0 {
-			return v
+		tk.edgeState += 0x9e3779b97f4a7c15
+		z := tk.edgeState
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		if z != 0 {
+			return z
+		}
+	}
+}
+
+// --- Routing ---
+
+// routeInto computes the deliveries of a tuple emitted by tk into
+// tk.selScratch as outs indices, returning the selection count. Single-
+// target groupings go through the selectOne fast path; only AllGrouping
+// (and third-party groupings) pay the Select allocation.
+func (rt *runningTopology) routeInto(tk *task, tpl *Tuple) int {
+	sel := tk.selScratch[:0]
+	for ei, e := range tk.outEdges {
+		nt := len(e.targets)
+		if nt == 0 {
+			continue
+		}
+		base := tk.edgeBase[ei]
+		if e.single != nil {
+			if idx := e.single.selectOne(tpl, nt); idx >= 0 && idx < nt {
+				sel = append(sel, base+idx)
+			}
+			continue
+		}
+		for _, idx := range e.grouping.Select(tpl, nt) {
+			if idx >= 0 && idx < nt {
+				sel = append(sel, base+idx)
+			}
+		}
+	}
+	tk.selScratch = sel
+	return len(sel)
+}
+
+// enqueue appends one envelope to the out-buffer at bufIdx, flushing the
+// buffer when it reaches the batch size.
+func (rt *runningTopology) enqueue(tk *task, bufIdx int, tpl *Tuple, nowNs int64) {
+	ob := &tk.outs[bufIdx]
+	if ob.envs == nil {
+		ob.envs = rt.fl.getEnvs(rt.effBatch)
+	}
+	if tk.firstBufNs == 0 {
+		tk.firstBufNs = nowNs
+	}
+	ob.envs = append(ob.envs, envelope{tuple: tpl, enqueuedNs: nowNs})
+	tk.outPending.Add(1)
+	if len(ob.envs) >= rt.effBatch {
+		envs := ob.envs
+		ob.envs = nil
+		rt.sendBatch(tk, ob.edge, ob.target, envs)
+	}
+}
+
+// flushOut sends every non-empty out-buffer of tk downstream.
+func (rt *runningTopology) flushOut(tk *task) {
+	if tk.outPending.Load() == 0 {
+		tk.firstBufNs = 0
+		return
+	}
+	for i := range tk.outs {
+		ob := &tk.outs[i]
+		if len(ob.envs) == 0 {
+			continue
+		}
+		envs := ob.envs
+		ob.envs = nil
+		rt.sendBatch(tk, ob.edge, ob.target, envs)
+	}
+	tk.firstBufNs = 0
+}
+
+// rerouteRetry is how long a blocked send waits before re-consulting a
+// dynamic grouping. Short enough that a controller bypass takes effect
+// within a control period; long enough to stay off the hot path.
+const rerouteRetry = 50 * time.Millisecond
+
+// blockedRecheck is how often a producer blocked on a full non-dynamic
+// queue re-checks capacity. The space channel is the primary wakeup; the
+// tick only guards against a lost-wakeup race among multiple producers.
+const blockedRecheck = 10 * time.Millisecond
+
+// reserve claims n tuple slots against the task's queue bound, failing
+// when the queue is full. The bound is counted in tuples — not batch
+// slots — so a stream of tiny partial batches cannot collapse the
+// effective queue capacity below QueueSize.
+func (tk *task) reserve(n, bound int64) bool {
+	for {
+		q := tk.queued.Load()
+		if q+n > bound {
+			return false
+		}
+		if tk.queued.CompareAndSwap(q, q+n) {
+			return true
+		}
+	}
+}
+
+// release frees n reserved tuple slots (at batch receive) and wakes one
+// blocked producer, if any.
+func (tk *task) release(n int64) {
+	tk.queued.Add(-n)
+	select {
+	case tk.space <- struct{}{}:
+	default:
+	}
+}
+
+// sendBatch enqueues a batch, blocking for backpressure but bailing out on
+// shutdown. Backpressure is tuple-denominated: the producer reserves
+// len(envs) slots against the target's QueueSize before the hand-off, and
+// the channel itself (sized at QueueSize slots) never blocks a reserved
+// send. When the batch rides a *dynamic* edge and the target's queue
+// stays full, the grouping is re-consulted periodically: if the controller
+// has since steered traffic away from a misbehaving target, the waiting
+// batch is re-directed instead of wedging its producer — the paper's
+// "re-direct data tuples to bypass misbehaving workers" applied to
+// in-flight emissions. Non-dynamic edges never re-route (fields grouping
+// correctness depends on stable key→task assignment).
+func (rt *runningTopology) sendBatch(src *task, e *edge, target *task, envs []envelope) {
+	n := int64(len(envs))
+	bound := int64(rt.cfg.QueueSize)
+	dg, dynamic := e.grouping.(*DynamicGrouping)
+	retry := blockedRecheck
+	if dynamic {
+		retry = rerouteRetry
+	}
+	for {
+		if target.reserve(n, bound) {
+			target.inCh <- envs
+			src.outPending.Add(-n)
+			return
+		}
+		select {
+		case <-target.space:
+		case <-rt.ctx.Done():
+			src.outPending.Add(-n)
+			return
+		case <-time.After(retry):
+			if dynamic {
+				if idx := dg.selectOne(envs[0].tuple, len(e.targets)); idx >= 0 && idx < len(e.targets) {
+					target = e.targets[idx]
+				}
+			}
 		}
 	}
 }
@@ -288,45 +529,73 @@ type spoutCollector struct {
 // goroutine.
 func (sc *spoutCollector) Emit(values Values, msgID any) {
 	rt, tk := sc.rt, sc.tk
-	tpl := &Tuple{
-		Values:          values,
-		SourceComponent: tk.component,
-		SourceTask:      tk.id,
-		fields:          rt.fieldsOf(tk.component),
-	}
-	deliveries := rt.route(tk, tpl)
+	tpl := tk.arena.get()
+	tpl.Values = values
+	tpl.SourceComponent = tk.component
+	tpl.SourceTask = tk.id
+	tpl.fields = tk.outFields
+	nsel := rt.routeInto(tk, tpl)
+	now := rt.clock.nowNs()
 	if msgID != nil {
-		rootID := tk.nextEdgeID()
-		var xor uint64
-		edgeIDs := make([]uint64, len(deliveries))
-		for i := range deliveries {
-			id := tk.nextEdgeID()
-			edgeIDs[i] = id
-			xor ^= id
-		}
-		if len(deliveries) == 0 {
+		if nsel == 0 {
 			// Nothing downstream: complete immediately.
 			tk.counters.acked.Add(1)
 			tk.spout.Ack(msgID)
 			tk.counters.emitted.Add(1)
 			return
 		}
+		// Draw every edge id and register the root *before* the first
+		// envelope can leave (a size-triggered flush inside enqueue may
+		// hand tuples to a downstream executor immediately).
+		rootID := tk.nextEdgeID()
+		ids := tk.idScratch[:0]
+		var xor uint64
+		for i := 0; i < nsel; i++ {
+			id := tk.nextEdgeID()
+			ids = append(ids, id)
+			xor ^= id
+		}
+		tk.idScratch = ids
 		rt.acker.register(rootID, xor, msgID, tk.id)
 		tk.pending++
-		for i, d := range deliveries {
-			cp := *tpl
-			cp.rootID = rootID
-			cp.edgeID = edgeIDs[i]
-			rt.send(d, &cp)
+		for i := 0; i < nsel; i++ {
+			t := tpl
+			if i > 0 {
+				// Each anchored delivery carries its own edge id, so
+				// fan-out needs distinct tuple headers.
+				t = tk.arena.get()
+				*t = *tpl
+			}
+			t.rootID = rootID
+			t.edgeID = ids[i]
+			rt.enqueue(tk, tk.selScratch[i], t, now)
 		}
 	} else {
-		for _, d := range deliveries {
-			cp := *tpl
-			rt.send(d, &cp)
+		// Unanchored deliveries share one immutable tuple header.
+		for i := 0; i < nsel; i++ {
+			rt.enqueue(tk, tk.selScratch[i], tpl, now)
 		}
 	}
 	tk.counters.emitted.Add(1)
 	tk.counters.executed.Add(1)
+}
+
+// handleAckBatch applies a batch of completions to the spout and recycles
+// the slice.
+func (rt *runningTopology) handleAckBatch(tk *task, rb []ackResult) {
+	for _, r := range rb {
+		tk.pending--
+		if r.ok {
+			tk.counters.acked.Add(1)
+			tk.counters.completeNs.Add(int64(r.latency))
+			tk.counters.completeHist.observe(r.latency)
+			tk.spout.Ack(r.msgID)
+		} else {
+			tk.counters.failed.Add(1)
+			tk.spout.Fail(r.msgID)
+		}
+	}
+	rt.fl.putAcks(rb)
 }
 
 func (rt *runningTopology) runSpout(tk *task) {
@@ -342,19 +611,10 @@ func (rt *runningTopology) runSpout(tk *task) {
 		}
 		// Drain completed roots first.
 		drained := 0
-		for drained < 1024 {
+		for drained < 64 {
 			select {
-			case r := <-tk.ackCh:
-				tk.pending--
-				if r.ok {
-					tk.counters.acked.Add(1)
-					tk.counters.completeNs.Add(int64(r.latency))
-					tk.counters.completeHist.observe(r.latency)
-					tk.spout.Ack(r.msgID)
-				} else {
-					tk.counters.failed.Add(1)
-					tk.spout.Fail(r.msgID)
-				}
+			case rb := <-tk.ackCh:
+				rt.handleAckBatch(tk, rb)
 				drained++
 				continue
 			default:
@@ -362,20 +622,14 @@ func (rt *runningTopology) runSpout(tk *task) {
 			break
 		}
 		if rt.spoutsPaused.Load() || tk.pending >= rt.cfg.MaxSpoutPending {
+			// About to block: anything buffered must go out first or the
+			// acks that would unblock us may never be produced.
+			rt.flushOut(tk)
 			select {
 			case <-rt.ctx.Done():
 				return
-			case r := <-tk.ackCh:
-				tk.pending--
-				if r.ok {
-					tk.counters.acked.Add(1)
-					tk.counters.completeNs.Add(int64(r.latency))
-					tk.counters.completeHist.observe(r.latency)
-					tk.spout.Ack(r.msgID)
-				} else {
-					tk.counters.failed.Add(1)
-					tk.spout.Fail(r.msgID)
-				}
+			case rb := <-tk.ackCh:
+				rt.handleAckBatch(tk, rb)
 			case <-time.After(time.Millisecond):
 			}
 			continue
@@ -397,7 +651,13 @@ func (rt *runningTopology) runSpout(tk *task) {
 				n.busy.Add(-1)
 				tk.counters.execNanos.Add(int64(cost))
 			}
+			// Deadline flush: a partial batch never waits longer than
+			// FlushInterval past its oldest envelope.
+			if tk.firstBufNs != 0 && rt.clock.nowNs()-tk.firstBufNs >= rt.flushNs {
+				rt.flushOut(tk)
+			}
 		} else {
+			rt.flushOut(tk)
 			select {
 			case <-rt.ctx.Done():
 				return
@@ -409,6 +669,12 @@ func (rt *runningTopology) runSpout(tk *task) {
 
 // --- Bolt executor ---
 
+// ackBatch stages completions bound for one spout between flushes.
+type ackBatch struct {
+	spout   *task
+	results []ackResult
+}
+
 type boltCollector struct {
 	rt *runningTopology
 	tk *task
@@ -416,35 +682,173 @@ type boltCollector struct {
 	current  *Tuple
 	produced []uint64
 	failed   bool
+	acks     []ackBatch
 }
 
 // Emit implements OutputCollector. Called only from the bolt's executor
 // goroutine during Execute.
 func (bc *boltCollector) Emit(values Values) {
 	rt, tk := bc.rt, bc.tk
-	tpl := &Tuple{
-		Values:          values,
-		SourceComponent: tk.component,
-		SourceTask:      tk.id,
-		fields:          rt.fieldsOf(tk.component),
-	}
-	deliveries := rt.route(tk, tpl)
+	tpl := tk.arena.get()
+	tpl.Values = values
+	tpl.SourceComponent = tk.component
+	tpl.SourceTask = tk.id
+	tpl.fields = tk.outFields
+	nsel := rt.routeInto(tk, tpl)
+	now := rt.clock.nowNs()
 	anchored := bc.current != nil && bc.current.rootID != 0
-	for _, d := range deliveries {
-		cp := *tpl
-		if anchored {
-			cp.rootID = bc.current.rootID
+	if anchored {
+		rootID := bc.current.rootID
+		for i := 0; i < nsel; i++ {
+			t := tpl
+			if i > 0 {
+				t = tk.arena.get()
+				*t = *tpl
+			}
 			id := tk.nextEdgeID()
-			cp.edgeID = id
+			t.rootID = rootID
+			t.edgeID = id
 			bc.produced = append(bc.produced, id)
+			rt.enqueue(tk, tk.selScratch[i], t, now)
 		}
-		rt.send(d, &cp)
+	} else {
+		for i := 0; i < nsel; i++ {
+			rt.enqueue(tk, tk.selScratch[i], tpl, now)
+		}
 	}
-	tk.counters.emitted.Add(int64(1))
+	tk.counters.emitted.Add(1)
 }
 
 // Fail implements OutputCollector.
 func (bc *boltCollector) Fail() { bc.failed = true }
+
+// addAck stages a completion for its spout, flushing that spout's batch
+// when full.
+func (bc *boltCollector) addAck(r ackResult) {
+	var ab *ackBatch
+	for i := range bc.acks {
+		if bc.acks[i].spout.id == r.spoutTID {
+			ab = &bc.acks[i]
+			break
+		}
+	}
+	if ab == nil {
+		sp := bc.rt.taskByID[r.spoutTID]
+		if sp == nil {
+			return
+		}
+		bc.acks = append(bc.acks, ackBatch{spout: sp})
+		ab = &bc.acks[len(bc.acks)-1]
+	}
+	if ab.results == nil {
+		ab.results = bc.rt.fl.getAcks(bc.rt.effBatch)
+	}
+	ab.results = append(ab.results, r)
+	if len(ab.results) >= bc.rt.effBatch {
+		bc.rt.sendAcks(ab.spout, ab.results)
+		ab.results = nil
+	}
+}
+
+// flushAcks delivers every staged completion batch.
+func (bc *boltCollector) flushAcks() {
+	for i := range bc.acks {
+		ab := &bc.acks[i]
+		if len(ab.results) > 0 {
+			bc.rt.sendAcks(ab.spout, ab.results)
+			ab.results = nil
+		}
+	}
+}
+
+// processEnvelope runs the full per-tuple bolt path: tick bypass, fault
+// draws, the interference cost model, Execute, metrics, and ack-tree
+// bookkeeping. Returns false when the topology shut down mid-stall.
+func (rt *runningTopology) processEnvelope(tk *task, collector *boltCollector, env *envelope) bool {
+	n := tk.worker.node
+	if env.tuple.IsTick() {
+		// Ticks bypass the fault/cost/ack machinery: they exist only to
+		// advance bolt-internal time.
+		collector.current = env.tuple
+		collector.produced = collector.produced[:0]
+		collector.failed = false
+		tk.bolt.Execute(env.tuple)
+		collector.current = nil
+		return true
+	}
+	startNs := rt.clock.nowNs()
+	tk.counters.queueNanos.Add(startNs - env.enqueuedNs)
+
+	fault, faulty := rt.cluster.faults.get(tk.worker.id)
+	// A stalled worker hangs mid-processing until the fault clears or the
+	// topology shuts down; its queues back up and its roots time out, like
+	// a hung JVM.
+	for faulty && fault.Stall {
+		select {
+		case <-rt.ctx.Done():
+			return false
+		case <-time.After(10 * time.Millisecond):
+		}
+		fault, faulty = rt.cluster.faults.get(tk.worker.id)
+	}
+	if faulty && fault.DropProb > 0 && tk.rng.Float64() < fault.DropProb {
+		tk.counters.dropped.Add(1)
+		return true // root will fail by ack timeout
+	}
+	if faulty && fault.FailProb > 0 && tk.rng.Float64() < fault.FailProb {
+		tk.counters.dropped.Add(1)
+		if env.tuple.rootID != 0 {
+			if r, ok := rt.acker.fail(env.tuple.rootID); ok {
+				collector.addAck(r)
+			}
+		}
+		return true
+	}
+
+	// Interference model: service cost grows when the node is
+	// oversubscribed, and when the worker is slowed by a fault.
+	busy := n.busy.Add(1)
+	cost := tk.execCost
+	if cost > 0 {
+		over := float64(busy) - float64(n.cores)
+		if over > 0 {
+			cost = time.Duration(float64(cost) * (1 + rt.cfg.InterferenceAlpha*over/float64(n.cores)))
+		}
+		if faulty && fault.Slowdown > 1 {
+			cost = time.Duration(float64(cost) * fault.Slowdown)
+		}
+		rt.cfg.Delayer.Delay(cost)
+	}
+
+	collector.current = env.tuple
+	collector.produced = collector.produced[:0]
+	collector.failed = false
+	tk.bolt.Execute(env.tuple)
+	n.busy.Add(-1)
+	n.executed.Add(1)
+
+	tk.counters.executed.Add(1)
+	// Execute latency includes the simulated cost even under NopDelayer so
+	// metric series carry the interference signal.
+	elapsed := time.Duration(rt.clock.nowNs() - startNs)
+	if elapsed < cost {
+		elapsed = cost
+	}
+	tk.counters.execNanos.Add(int64(elapsed))
+	tk.counters.execHist.observe(elapsed)
+
+	if env.tuple.rootID != 0 {
+		if collector.failed {
+			if r, ok := rt.acker.fail(env.tuple.rootID); ok {
+				collector.addAck(r)
+			}
+		} else if r, ok := rt.acker.transition(env.tuple.rootID, env.tuple.edgeID, collector.produced); ok {
+			collector.addAck(r)
+		}
+	}
+	collector.current = nil
+	return true
+}
 
 func (rt *runningTopology) runBolt(tk *task) {
 	defer rt.wg.Done()
@@ -454,89 +858,23 @@ func (rt *runningTopology) runBolt(tk *task) {
 		rt.wg.Add(1)
 		go rt.runTicker(tk)
 	}
-	n := tk.worker.node
 	for {
 		select {
 		case <-rt.ctx.Done():
 			return
-		case env := <-tk.inCh:
-			if env.tuple.IsTick() {
-				// Ticks bypass the fault/cost/ack machinery: they exist
-				// only to advance bolt-internal time.
-				collector.current = env.tuple
-				collector.produced = collector.produced[:0]
-				collector.failed = false
-				tk.bolt.Execute(env.tuple)
-				collector.current = nil
-				continue
-			}
-			start := time.Now()
-			tk.counters.queueNanos.Add(int64(start.Sub(env.enqueuedAt)))
-
-			fault, faulty := rt.cluster.faults.get(tk.worker.id)
-			// A stalled worker hangs mid-processing until the fault
-			// clears or the topology shuts down; its queues back up and
-			// its roots time out, like a hung JVM.
-			for faulty && fault.Stall {
-				select {
-				case <-rt.ctx.Done():
+		case batch := <-tk.inCh:
+			tk.release(int64(len(batch)))
+			for i := range batch {
+				if !rt.processEnvelope(tk, collector, &batch[i]) {
 					return
-				case <-time.After(10 * time.Millisecond):
-				}
-				fault, faulty = rt.cluster.faults.get(tk.worker.id)
-			}
-			if faulty && fault.DropProb > 0 && tk.rng.Float64() < fault.DropProb {
-				tk.counters.dropped.Add(1)
-				continue // root will fail by ack timeout
-			}
-			if faulty && fault.FailProb > 0 && tk.rng.Float64() < fault.FailProb {
-				tk.counters.dropped.Add(1)
-				if env.tuple.rootID != 0 {
-					rt.acker.fail(env.tuple.rootID)
-				}
-				continue
-			}
-
-			// Interference model: service cost grows when the node is
-			// oversubscribed, and when the worker is slowed by a fault.
-			busy := n.busy.Add(1)
-			cost := tk.execCost
-			if cost > 0 {
-				over := float64(busy) - float64(n.cores)
-				if over > 0 {
-					cost = time.Duration(float64(cost) * (1 + rt.cfg.InterferenceAlpha*over/float64(n.cores)))
-				}
-				if faulty && fault.Slowdown > 1 {
-					cost = time.Duration(float64(cost) * fault.Slowdown)
-				}
-				rt.cfg.Delayer.Delay(cost)
-			}
-
-			collector.current = env.tuple
-			collector.produced = collector.produced[:0]
-			collector.failed = false
-			tk.bolt.Execute(env.tuple)
-			n.busy.Add(-1)
-			n.executed.Add(1)
-
-			tk.counters.executed.Add(1)
-			// Execute latency includes the simulated cost even under
-			// NopDelayer so metric series carry the interference signal.
-			elapsed := time.Since(start)
-			if elapsed < cost {
-				elapsed = cost
-			}
-			tk.counters.execNanos.Add(int64(elapsed))
-			tk.counters.execHist.observe(elapsed)
-
-			if env.tuple.rootID != 0 {
-				if collector.failed {
-					rt.acker.fail(env.tuple.rootID)
-				} else {
-					rt.acker.transition(env.tuple.rootID, env.tuple.edgeID, collector.produced)
 				}
 			}
-			collector.current = nil
+			rt.fl.putEnvs(batch)
+			// Bolts emit only while processing input, so flushing here
+			// (rather than on a deadline) bounds output latency by the
+			// input batch and leaves nothing buffered while idle.
+			rt.flushOut(tk)
+			collector.flushAcks()
 		}
 	}
 }
@@ -553,71 +891,15 @@ func (rt *runningTopology) runTicker(tk *task) {
 		case <-rt.ctx.Done():
 			return
 		case <-ticker.C:
-			select {
-			case tk.inCh <- envelope{tuple: &Tuple{SourceComponent: TickComponent}, enqueuedAt: time.Now()}:
-			default:
+			if !tk.reserve(1, int64(rt.cfg.QueueSize)) {
+				continue // full queue drops the tick
 			}
-		}
-	}
-}
-
-// --- Routing ---
-
-// delivery is one planned tuple hand-off: the selected target task plus
-// the edge it was selected on (needed to re-route on a blocked dynamic
-// edge).
-type delivery struct {
-	target *task
-	edge   *edge
-}
-
-// route computes the deliveries of a tuple emitted by tk.
-func (rt *runningTopology) route(tk *task, tpl *Tuple) []delivery {
-	var out []delivery
-	for _, e := range rt.edges[tk.component] {
-		for _, idx := range e.grouping.Select(tpl, len(e.targets)) {
-			if idx >= 0 && idx < len(e.targets) {
-				out = append(out, delivery{target: e.targets[idx], edge: e})
-			}
-		}
-	}
-	return out
-}
-
-// rerouteRetry is how long a blocked send waits before re-consulting a
-// dynamic grouping. Short enough that a controller bypass takes effect
-// within a control period; long enough to stay off the hot path.
-const rerouteRetry = 50 * time.Millisecond
-
-// send enqueues a tuple, blocking for backpressure but bailing out on
-// shutdown. When the delivery rides a *dynamic* edge and the target's
-// queue stays full, the grouping is re-consulted periodically: if the
-// controller has since steered traffic away from a misbehaving target,
-// the waiting tuple is re-directed instead of wedging its producer — the
-// paper's "re-direct data tuples to bypass misbehaving workers" applied
-// to in-flight emissions. Non-dynamic edges never re-route (fields
-// grouping correctness depends on stable key→task assignment).
-func (rt *runningTopology) send(d delivery, tpl *Tuple) {
-	env := envelope{tuple: tpl, enqueuedAt: time.Now()}
-	dg, dynamic := d.edge.grouping.(*DynamicGrouping)
-	if !dynamic {
-		select {
-		case d.target.inCh <- env:
-		case <-rt.ctx.Done():
-		}
-		return
-	}
-	for {
-		select {
-		case d.target.inCh <- env:
-			return
-		case <-rt.ctx.Done():
-			return
-		case <-time.After(rerouteRetry):
-			idxs := dg.Select(tpl, len(d.edge.targets))
-			if len(idxs) == 1 && idxs[0] >= 0 && idxs[0] < len(d.edge.targets) {
-				d.target = d.edge.targets[idxs[0]]
-			}
+			b := rt.fl.getEnvs(1)
+			b = append(b, envelope{
+				tuple:      &Tuple{SourceComponent: TickComponent},
+				enqueuedNs: rt.clock.nowNs(),
+			})
+			tk.inCh <- b
 		}
 	}
 }

@@ -112,17 +112,24 @@ func FuzzHistogramQuantile(f *testing.F) {
 	f.Add(uint32(1000), uint8(50))
 	f.Add(uint32(1), uint8(0))
 	f.Add(uint32(99999), uint8(255))
+	f.Add(uint32(1000), uint8(99)) // q = 1.0: rank must clamp to the population
 	f.Fuzz(func(t *testing.T, usRaw uint32, qRaw uint8) {
 		us := int(usRaw%100000) + 1
 		d := time.Duration(us) * time.Microsecond
-		q := (float64(qRaw%99) + 1) / 100
+		q := (float64(qRaw%100) + 1) / 100 // (0, 1] inclusive of q = 1
 		var h latencyHist
 		for i := 0; i < 10; i++ {
 			h.observe(d)
 		}
-		got := HistogramQuantile(h.snapshot(), q)
+		counts := h.snapshot()
+		got := HistogramQuantile(counts, q)
 		if got > 2*d || got*2 < d {
 			t.Fatalf("q=%.2f of %v point mass = %v, outside factor-2 band", q, d, got)
+		}
+		// Monotonicity in q: the fuzzed quantile sits between the extremes.
+		lo, hi := HistogramQuantile(counts, 0.01), HistogramQuantile(counts, 1)
+		if got < lo || got > hi {
+			t.Fatalf("q=%.2f gave %v outside [q=0.01 %v, q=1 %v]", q, got, lo, hi)
 		}
 	})
 }

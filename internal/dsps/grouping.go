@@ -2,9 +2,9 @@ package dsps
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // Grouping decides which downstream task(s) of a subscription receive a
@@ -18,24 +18,30 @@ type Grouping interface {
 	Name() string
 }
 
+// singleSelector is the allocation-free routing fast path: groupings that
+// always pick exactly one target implement it, and the executor's router
+// uses it instead of Select to avoid the per-emit []int.
+type singleSelector interface {
+	selectOne(t *Tuple, numTasks int) int
+}
+
 // ShuffleGrouping distributes tuples round-robin across downstream tasks,
 // which is what Storm's shuffle grouping converges to and keeps unit tests
 // deterministic.
 type ShuffleGrouping struct {
-	mu   sync.Mutex
-	next int
+	next atomic.Uint64
 }
 
 // Name implements Grouping.
 func (g *ShuffleGrouping) Name() string { return "shuffle" }
 
 // Select implements Grouping.
-func (g *ShuffleGrouping) Select(_ *Tuple, numTasks int) []int {
-	g.mu.Lock()
-	idx := g.next % numTasks
-	g.next++
-	g.mu.Unlock()
-	return []int{idx}
+func (g *ShuffleGrouping) Select(t *Tuple, numTasks int) []int {
+	return []int{g.selectOne(t, numTasks)}
+}
+
+func (g *ShuffleGrouping) selectOne(_ *Tuple, numTasks int) int {
+	return int((g.next.Add(1) - 1) % uint64(numTasks))
 }
 
 // FieldsGrouping routes tuples with equal values in the selected fields to
@@ -50,17 +56,73 @@ func (g *FieldsGrouping) Name() string { return "fields" }
 
 // Select implements Grouping.
 func (g *FieldsGrouping) Select(t *Tuple, numTasks int) []int {
-	h := fnv.New64a()
+	return []int{g.selectOne(t, numTasks)}
+}
+
+func (g *FieldsGrouping) selectOne(t *Tuple, numTasks int) int {
+	return int(g.key(t) % uint64(numTasks))
+}
+
+// FNV-1a, inlined so hashing common value types needs no hash.Hash64
+// allocation or fmt round-trip on the emit path.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v))
+		v >>= 8
+	}
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}
+
+// key hashes the grouping fields of a tuple. Values are folded by dynamic
+// type (strings and numbers directly, anything else through fmt); each
+// field is terminated by a zero byte so adjacent fields cannot collide by
+// concatenation.
+func (g *FieldsGrouping) key(t *Tuple) uint64 {
+	h := fnvOffset64
 	for _, f := range g.Fields {
 		v, err := t.GetValue(f)
 		if err != nil {
-			// A missing grouping field is a topology bug; route to task 0
+			// A missing grouping field is a topology bug; skip it
 			// deterministically rather than crash the executor.
 			continue
 		}
-		fmt.Fprintf(h, "%v\x00", v)
+		switch x := v.(type) {
+		case string:
+			h = fnvString(h, x)
+		case int:
+			h = fnvUint64(h, uint64(int64(x)))
+		case int64:
+			h = fnvUint64(h, uint64(x))
+		case uint64:
+			h = fnvUint64(h, x)
+		case float64:
+			h = fnvUint64(h, math.Float64bits(x))
+		case bool:
+			if x {
+				h = fnvByte(h, 1)
+			} else {
+				h = fnvByte(h, 0)
+			}
+		default:
+			h = fnvString(h, fmt.Sprintf("%v", x))
+		}
+		h = fnvByte(h, 0)
 	}
-	return []int{int(h.Sum64() % uint64(numTasks))}
+	return h
 }
 
 // GlobalGrouping routes every tuple to the lowest-indexed task.
@@ -71,6 +133,8 @@ func (GlobalGrouping) Name() string { return "global" }
 
 // Select implements Grouping.
 func (GlobalGrouping) Select(*Tuple, int) []int { return []int{0} }
+
+func (GlobalGrouping) selectOne(*Tuple, int) int { return 0 }
 
 // AllGrouping replicates every tuple to every downstream task.
 type AllGrouping struct{}
@@ -160,7 +224,11 @@ func (g *DynamicGrouping) Updates() int {
 // Select implements Grouping via smooth weighted round-robin: each task
 // accumulates credit equal to its ratio per tuple; the task with the most
 // credit wins and pays back 1.
-func (g *DynamicGrouping) Select(_ *Tuple, numTasks int) []int {
+func (g *DynamicGrouping) Select(t *Tuple, numTasks int) []int {
+	return []int{g.selectOne(t, numTasks)}
+}
+
+func (g *DynamicGrouping) selectOne(_ *Tuple, numTasks int) int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if len(g.ratios) != numTasks {
@@ -186,5 +254,5 @@ func (g *DynamicGrouping) Select(_ *Tuple, numTasks int) []int {
 		best = 0
 	}
 	g.current[best]--
-	return []int{best}
+	return best
 }

@@ -61,6 +61,11 @@ func HistogramQuantile(counts []int64, q float64) time.Duration {
 	if rank < 1 {
 		rank = 1
 	}
+	// Guard against float rounding pushing the rank past the population:
+	// q = 1 must select the last occupied bucket, not the overflow bound.
+	if rank > total {
+		rank = total
+	}
 	var seen int64
 	for i, c := range counts {
 		if c == 0 {

@@ -82,13 +82,50 @@ func TestHistogramQuantileOrdering(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var single latencyHist
+	single.observe(time.Millisecond)
+	var multi latencyHist
+	for i := 0; i < 10; i++ {
+		multi.observe(time.Millisecond)
+	}
+	multi.observe(100 * time.Millisecond)
+	// 1ms lands in [524288ns, 1048576ns); 100ms in [~67.1ms, ~134.2ms).
+	cases := []struct {
+		name   string
+		counts []int64
+		q      float64
+		lo, hi time.Duration
+	}{
+		{"single sample q=1", single.snapshot(), 1, 500 * time.Microsecond, 1100 * time.Microsecond},
+		{"single sample q near 0", single.snapshot(), 0.001, 500 * time.Microsecond, 1100 * time.Microsecond},
+		{"single sample q=0.5", single.snapshot(), 0.5, 500 * time.Microsecond, 1100 * time.Microsecond},
+		{"q=1 selects last occupied bucket", multi.snapshot(), 1, 50 * time.Millisecond, 200 * time.Millisecond},
+		// rank(0.999 × 11) = 10: the last sample below the tail mode, so
+		// only q = 1 exactly reaches the 100ms outlier.
+		{"q just below 1 stays in dominant bucket", multi.snapshot(), 0.999, 500 * time.Microsecond, 1100 * time.Microsecond},
+	}
+	for _, tc := range cases {
+		got := HistogramQuantile(tc.counts, tc.q)
+		if got < tc.lo || got > tc.hi {
+			t.Errorf("%s: quantile = %v, want in [%v, %v]", tc.name, got, tc.lo, tc.hi)
+		}
+	}
+	// q=1 must never fall through to the overflow bucket's upper bound
+	// when the population sits in lower buckets (rank clamp).
+	_, overflowHi := bucketBounds(histBuckets - 1)
+	if got := HistogramQuantile(single.snapshot(), 1); got >= overflowHi {
+		t.Fatalf("q=1 of single sample hit overflow bound %v", got)
+	}
+}
+
 func TestPropertyQuantileWithinBucketBounds(t *testing.T) {
 	// For any single-value histogram, every quantile lands within a
 	// factor of 2 of the observed value (bucket resolution).
 	f := func(usRaw uint32, qRaw uint8) bool {
 		us := int(usRaw%100000) + 1
 		d := time.Duration(us) * time.Microsecond
-		q := (float64(qRaw%99) + 1) / 100
+		q := (float64(qRaw%100) + 1) / 100 // (0, 1] inclusive of q = 1
 		var h latencyHist
 		for i := 0; i < 10; i++ {
 			h.observe(d)

@@ -17,6 +17,12 @@ import "fmt"
 type Values []any
 
 // Tuple is a unit of data flowing through a topology.
+//
+// Engine-emitted tuples are allocated from a per-task arena (see
+// tupleArena) and are never reused after release, so a bolt may retain a
+// *Tuple beyond Execute (windowed bolts do) without it being mutated
+// under its feet. Tuples are therefore plain data: nothing in the engine
+// writes to one after it has been handed downstream.
 type Tuple struct {
 	// Values holds the payload, aligned with the emitting component's
 	// declared fields.

@@ -32,6 +32,9 @@ type ReliabilityConfig struct {
 	Workers int
 	// Seed drives the workload.
 	Seed int64
+	// Engine tunes the stream engine's data plane (zero = engine
+	// defaults).
+	Engine EngineKnobs
 }
 
 func (c ReliabilityConfig) withDefaults() ReliabilityConfig {
@@ -228,7 +231,7 @@ func runCell(cfg ReliabilityConfig, dynamic bool, policy *core.PlanPolicy, fault
 	if err != nil {
 		return cell, err
 	}
-	cluster := dsps.NewCluster(dsps.ClusterConfig{
+	ccfg := dsps.ClusterConfig{
 		Nodes:        2,
 		CoresPerNode: 4,
 		Seed:         cfg.Seed,
@@ -239,7 +242,9 @@ func runCell(cfg ReliabilityConfig, dynamic bool, policy *core.PlanPolicy, fault
 		// the queue-filling transient.
 		QueueSize:       64,
 		MaxSpoutPending: 256,
-	})
+	}
+	cfg.Engine.apply(&ccfg)
+	cluster := dsps.NewCluster(ccfg)
 	if err := cluster.Submit(topo, dsps.SubmitConfig{Workers: cfg.Workers}); err != nil {
 		return cell, err
 	}

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # CI gate: vet, build, full test suite, the race detector over the
 # packages with real concurrency (training engine, stream engine, chaos
-# harness), a short chaos soak against the live engine, and a fuzz smoke
-# over each native fuzz target. Run via `make ci` or directly.
+# harness), a one-iteration benchmark smoke, a short chaos soak against
+# the live engine, and a fuzz smoke over each native fuzz target. Run via
+# `make ci` or directly.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,6 +19,9 @@ go test ./...
 
 echo "== go test -race (nn, dsps, chaos) =="
 go test -race ./internal/nn/... ./internal/dsps/... ./internal/chaos/...
+
+echo "== bench smoke (1 iteration per benchmark) =="
+make bench-smoke
 
 echo "== chaos soak (short) =="
 make soak-short

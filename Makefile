@@ -1,9 +1,18 @@
 GO ?= go
 
-.PHONY: build test race ci bench bench-train bench-engine bench-smoke soak soak-short fuzz-smoke
+.PHONY: build test race ci lint lint-baseline bench bench-train bench-engine bench-smoke soak soak-short fuzz-smoke
 
 build:
 	$(GO) build ./...
+
+# Invariant linter: stdlib-only static analysis (cmd/dspslint) enforcing
+# the determinism, hot-path, and concurrency rules. Exit 1 on findings.
+lint:
+	$(GO) run ./cmd/dspslint ./...
+
+# Regenerate the committed machine-readable lint baseline.
+lint-baseline:
+	$(GO) run ./cmd/dspslint -summary LINT_BASELINE.json ./...
 
 test:
 	$(GO) test ./...

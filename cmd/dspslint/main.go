@@ -1,0 +1,76 @@
+// Command dspslint is the repo's invariant linter: a stdlib-only static
+// analyzer (go/parser + go/types with the source importer, no x/tools)
+// that enforces the engine's determinism, hot-path, and concurrency rules.
+//
+// Usage:
+//
+//	dspslint [flags] [packages]
+//
+// Packages are directories or `dir/...` subtrees, default `./...`.
+// Exit code 0 = clean, 1 = findings, 2 = load/type/usage failure.
+//
+// Run `dspslint -list` for the analyzers and the invariants they guard;
+// see DESIGN.md "Static analysis" for the directive grammar
+// (//dsps:hotpath, //dsps:deterministic, //dspslint:ignore).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"predstream/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dspslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut = fs.Bool("json", false, "emit the full report as JSON")
+		enable  = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable = fs.String("disable", "", "comma-separated analyzers to skip")
+		tests   = fs.Bool("tests", true, "include _test.go files and external test packages")
+		summary = fs.String("summary", "", "write the machine-readable baseline summary to this file")
+		list    = fs.Bool("list", false, "list analyzers and exit")
+		chdir   = fs.String("C", "", "resolve package patterns relative to this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	return analysis.Run(analysis.Config{
+		Dir:          *chdir,
+		Patterns:     fs.Args(),
+		Enable:       splitList(*enable),
+		Disable:      splitList(*disable),
+		IncludeTests: *tests,
+		JSON:         *jsonOut,
+		SummaryPath:  *summary,
+		Stdout:       stdout,
+		Stderr:       stderr,
+	})
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errBuf); code != 0 {
+		t.Fatalf("-list exited %d, stderr: %s", code, errBuf.String())
+	}
+	for _, name := range []string{"atomicmix", "globalrand", "lockedsend", "maporder", "walltime"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errBuf); code != 2 {
+		t.Fatalf("unknown flag exited %d, want 2", code)
+	}
+}
+
+func TestRunUnknownAnalyzer(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-enable", "bogus", "."}, &out, &errBuf); code != 2 {
+		t.Fatalf("unknown analyzer exited %d, want 2 (stderr: %s)", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "bogus") {
+		t.Errorf("error does not name the unknown analyzer:\n%s", errBuf.String())
+	}
+}
+
+func TestRunCorpusFindings(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-C", "../../internal/analysis/testdata/walltime", "-enable", "walltime", "."}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("corpus run exited %d, want 1 (stderr: %s)", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "time.Now in hot-path function") {
+		t.Errorf("expected a walltime finding in output:\n%s", out.String())
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,,c ")
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("splitList: got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitList[%d]: got %q, want %q", i, got[i], want[i])
+		}
+	}
+	if splitList("") != nil {
+		t.Fatalf("splitList(\"\") must be nil")
+	}
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicMix flags struct fields that are accessed through sync/atomic
+// functions (atomic.AddInt64(&s.n, 1)) in one place and by plain load or
+// store (s.n++, s.n = 0, if s.n > 0) in another. Mixing the two is a data
+// race the race detector only catches when the schedule cooperates; the
+// fix is either full atomic discipline or the typed atomic.Int64 wrappers
+// the engine's counters use, which make mixing impossible.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "struct field accessed both through sync/atomic and by plain load/store",
+	Run:  runAtomicMix,
+}
+
+// atomicAccess records where and how a field was touched.
+type atomicAccess struct {
+	pos  ast.Node
+	via  string // the atomic.* function name, or "" for plain access
+	fn   string // enclosing function label, for the diagnostic
+	expr *ast.SelectorExpr
+}
+
+func runAtomicMix(pass *Pass) {
+	atomicUses := map[*types.Var][]atomicAccess{}
+	plainUses := map[*types.Var][]atomicAccess{}
+	// Selectors consumed as &arg of an atomic call, so the generic
+	// selector walk below does not double-count them as plain accesses.
+	viaAtomic := map[*ast.SelectorExpr]bool{}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			label := funcLabel(fn)
+			// First pass: atomic calls taking &field.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !pass.pkgNamed(sel.X, "sync/atomic") {
+					return true
+				}
+				for _, arg := range call.Args {
+					ue, ok := arg.(*ast.UnaryExpr)
+					if !ok || ue.Op.String() != "&" {
+						continue
+					}
+					fieldSel, ok := ue.X.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if fv := fieldVar(pass, fieldSel); fv != nil {
+						viaAtomic[fieldSel] = true
+						atomicUses[fv] = append(atomicUses[fv], atomicAccess{
+							pos: fieldSel, via: "atomic." + sel.Sel.Name, fn: label, expr: fieldSel,
+						})
+					}
+				}
+				return true
+			})
+			// Second pass: every other access to a struct field.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				fieldSel, ok := n.(*ast.SelectorExpr)
+				if !ok || viaAtomic[fieldSel] {
+					return true
+				}
+				if fv := fieldVar(pass, fieldSel); fv != nil {
+					plainUses[fv] = append(plainUses[fv], atomicAccess{
+						pos: fieldSel, fn: label, expr: fieldSel,
+					})
+				}
+				return true
+			})
+		}
+	}
+
+	// Report each plain access to a field that is atomically accessed
+	// anywhere in the package.
+	fields := make([]*types.Var, 0, len(atomicUses))
+	for fv := range atomicUses {
+		fields = append(fields, fv)
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+	for _, fv := range fields {
+		plains := plainUses[fv]
+		if len(plains) == 0 {
+			continue
+		}
+		au := atomicUses[fv][0]
+		auPos := pass.Fset.Position(au.expr.Pos())
+		for _, pu := range plains {
+			pass.Reportf(pu.expr.Pos(),
+				"field %s is accessed with %s in %s (%s:%d) but by plain load/store in %s; pick one discipline (or use atomic.Int64-style typed atomics)",
+				fieldPath(fv), au.via, au.fn, shortFile(auPos.Filename), auPos.Line, pu.fn)
+		}
+	}
+}
+
+// fieldVar resolves a selector to the struct field it names, or nil.
+func fieldVar(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	if pass.Info == nil {
+		return nil
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	fv, ok := s.Obj().(*types.Var)
+	if !ok || fv.Pkg() != pass.Pkg {
+		return nil
+	}
+	return fv
+}
+
+// fieldPath names a field as Struct.field for diagnostics.
+func fieldPath(fv *types.Var) string {
+	// The field's owning struct is not directly reachable from the Var;
+	// the package-qualified name is enough to identify it in a diagnostic.
+	return fv.Name()
+}
+
+// shortFile trims a path to its last two segments for compact messages.
+func shortFile(path string) string {
+	parts := strings.Split(path, "/")
+	if len(parts) <= 2 {
+		return path
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GlobalRand bans the process-global math/rand source — and shared
+// package-level *rand.Rand state — inside determinism-marked packages.
+// Every chaos replay, fault schedule, and training run reproduces from an
+// explicit seed; one rand.Float64() drawn from the global source ties a
+// result to whatever else the process randomized and breaks replay-by-seed.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "global math/rand source or shared package-level rand.Rand in a deterministic package",
+	Run:  runGlobalRand,
+}
+
+// globalRandAllowed are the math/rand package-level functions that do NOT
+// touch the global source: constructors taking an explicit seed or source.
+var globalRandAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runGlobalRand(pass *Pass) {
+	if !pass.Deterministic {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if globalRandAllowed[n.Sel.Name] {
+					return true
+				}
+				if !pass.pkgNamed(n.X, "math/rand") && !pass.pkgNamed(n.X, "math/rand/v2") {
+					return true
+				}
+				// Only package-level functions draw from the global
+				// source; selecting a type (rand.Rand, rand.Source) or a
+				// constant is fine.
+				if _, ok := pass.Info.Uses[n.Sel].(*types.Func); !ok {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"rand.%s draws from the process-global source; use an explicitly seeded rand.New(rand.NewSource(seed))",
+					n.Sel.Name)
+			case *ast.GenDecl:
+				// Package-level var of type rand.Rand / *rand.Rand: shared
+				// mutable state whose draw order depends on goroutine
+				// interleaving even when seeded.
+				if n.Tok != token.VAR {
+					return true
+				}
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						obj, ok := pass.Info.Defs[name].(*types.Var)
+						if !ok || obj.Parent() != pass.Pkg.Scope() {
+							continue
+						}
+						if isRandRand(obj.Type()) {
+							pass.Reportf(name.Pos(),
+								"package-level %s is a shared rand.Rand; draw order depends on scheduling — keep generators component-local",
+								name.Name)
+						}
+					}
+				}
+			}
+			return true // keep walking: var initializers may call rand.*
+		})
+	}
+}
+
+// isRandRand reports whether t is math/rand.Rand (possibly behind a
+// pointer).
+func isRandRand(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Name() != "Rand" {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "math/rand" || strings.HasPrefix(path, "math/rand/")
+}

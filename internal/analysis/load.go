@@ -1,0 +1,297 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked analysis unit: a package's compiled files
+// plus (when tests are included) its in-package test files; external test
+// packages (package foo_test) form their own unit.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects type-checker complaints; analysis continues on
+	// partial information, but the driver surfaces them and fails the run.
+	TypeErrors []error
+	// Deterministic marks packages under the seeded-determinism contract.
+	Deterministic bool
+}
+
+// A Loader discovers, parses, and type-checks packages of one module using
+// only the standard library (source importer — no x/tools).
+type Loader struct {
+	Root         string // module root: the directory holding go.mod
+	Module       string // module path from go.mod
+	WorkDir      string // directory patterns are resolved against
+	IncludeTests bool
+	Fset         *token.FileSet
+
+	imp types.ImporterFrom
+}
+
+// NewLoader locates the enclosing module of dir and prepares a loader.
+func NewLoader(dir string, includeTests bool) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("dspslint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	module, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Root:         root,
+		Module:       module,
+		WorkDir:      abs,
+		IncludeTests: includeTests,
+		Fset:         fset,
+	}
+	l.imp = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// modulePath reads the module path from a go.mod file.
+func modulePath(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("dspslint: no module directive in %s", path)
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.Root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom. The source importer resolves
+// relative to a source directory; pinning it to the module root keeps
+// module-internal import paths resolvable regardless of the process's
+// working directory. Every import — including an external test package's
+// import of the package under test — flows through the one source-importer
+// universe, so type identity stays consistent across units. (The known
+// limit: an external test package cannot see helpers defined in in-package
+// test files; this repo has none, and such a reference would surface as a
+// type error rather than pass silently.)
+func (l *Loader) ImportFrom(path, _ string, mode types.ImportMode) (*types.Package, error) {
+	return l.imp.ImportFrom(path, l.Root, mode)
+}
+
+// Load resolves the patterns (a directory, or a `dir/...` subtree) and
+// returns the type-checked packages in deterministic order.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		units, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, units...)
+	}
+	return pkgs, nil
+}
+
+// expand resolves patterns to package directories, sorted and deduplicated.
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(l.WorkDir, base)
+		}
+		info, err := os.Stat(base)
+		if err != nil {
+			return nil, fmt.Errorf("dspslint: %s: %w", pat, err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("dspslint: %s is not a directory", pat)
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err = filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor maps a directory to its import path within the module.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || rel == "." {
+		return l.Module
+	}
+	return l.Module + "/" + filepath.ToSlash(rel)
+}
+
+// loadDir parses and type-checks one directory, producing the compiled
+// package (with in-package test files when enabled) and, separately, the
+// external test package if one exists.
+func (l *Loader) loadDir(dir string) ([]*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		if !l.IncludeTests && strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	// Split into the compiled package (plus in-package test files) and the
+	// external test package. The base package name comes from the first
+	// non-test file; a directory holding only test files keeps whatever
+	// name those files declare.
+	baseName := ""
+	for i, f := range files {
+		if !strings.HasSuffix(names[i], "_test.go") {
+			baseName = f.Name.Name
+			break
+		}
+	}
+	var baseFiles, extFiles []*ast.File
+	for _, f := range files {
+		name := f.Name.Name
+		switch {
+		case baseName == "" && strings.HasSuffix(name, "_test"):
+			extFiles = append(extFiles, f)
+		case baseName != "" && name == baseName+"_test":
+			extFiles = append(extFiles, f)
+		default:
+			baseFiles = append(baseFiles, f)
+		}
+	}
+	path := l.importPathFor(dir)
+	var out []*Package
+	if len(baseFiles) > 0 {
+		out = append(out, l.check(path, dir, baseFiles))
+	}
+	if len(extFiles) > 0 {
+		out = append(out, l.check(path+"_test", dir, extFiles))
+	}
+	return out, nil
+}
+
+// check type-checks one unit, collecting (rather than failing on) type
+// errors so analyzers can still run on partial information.
+func (l *Loader) check(path, dir string, files []*ast.File) *Package {
+	pkg := &Package{ImportPath: path, Dir: dir, Files: files}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info) // errors land in pkg.TypeErrors
+	pkg.Types = tpkg
+	pkg.Info = info
+	for _, f := range files {
+		if fileDeterministic(f) {
+			pkg.Deterministic = true
+		}
+	}
+	return pkg
+}

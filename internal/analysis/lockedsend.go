@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockedSend flags channel operations and other blocking calls lexically
+// between mu.Lock() and the matching mu.Unlock() in the same function —
+// the straight-line shape of a classic deadlock: a send blocks for a
+// consumer that needs the same lock to make progress. The analyzer tracks
+// explicit Lock/Unlock pairs statement-by-statement (descending into
+// nested if/for/switch blocks); `defer mu.Unlock()` is deliberately out of
+// scope — the whole function body would be "under the lock" and the
+// sharded-acker style of tight, explicit critical sections is exactly what
+// the engine's lock discipline prescribes.
+var LockedSend = &Analyzer{
+	Name: "lockedsend",
+	Doc:  "channel send/receive or blocking call between mu.Lock() and mu.Unlock()",
+	Run:  runLockedSend,
+}
+
+func runLockedSend(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			scanLockedBlock(pass, fn.Body.List, map[string]bool{})
+		}
+	}
+}
+
+// scanLockedBlock walks one statement list in order, maintaining the set of
+// mutexes held (keyed by the receiver expression's source text). Nested
+// control-flow blocks are scanned with a copy of the held set; function
+// literals are skipped (they run later, not under this critical section).
+func scanLockedBlock(pass *Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		if recv, kind, ok := lockCall(pass, stmt); ok {
+			switch kind {
+			case "Lock", "RLock":
+				held[recv] = true
+			case "Unlock", "RUnlock":
+				delete(held, recv)
+			}
+			continue
+		}
+		// `defer mu.Unlock()` ends tracking: the critical section now
+		// spans to function exit, which is exactly the shape this
+		// straight-line analyzer deliberately leaves out of scope.
+		if d, ok := stmt.(*ast.DeferStmt); ok {
+			if sel, ok := d.Call.Fun.(*ast.SelectorExpr); ok {
+				if _, kind, ok := lockCall(pass, &ast.ExprStmt{X: d.Call}); ok &&
+					(kind == "Unlock" || kind == "RUnlock") {
+					delete(held, exprKey(sel.X))
+				}
+			}
+		}
+		if len(held) > 0 {
+			reportBlocking(pass, stmt, held)
+		}
+		// Descend into nested blocks with an independent copy: a branch
+		// that unlocks must not clear the lock for its siblings.
+		for _, body := range nestedBlocks(stmt) {
+			scanLockedBlock(pass, body, copyHeld(held))
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// nestedBlocks returns the statement lists nested directly inside stmt.
+func nestedBlocks(stmt ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		out = append(out, s.List)
+	case *ast.IfStmt:
+		out = append(out, s.Body.List)
+		if block, ok := s.Else.(*ast.BlockStmt); ok {
+			out = append(out, block.List)
+		} else if s.Else != nil {
+			out = append(out, []ast.Stmt{s.Else})
+		}
+	case *ast.ForStmt:
+		out = append(out, s.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	}
+	return out
+}
+
+// lockCall matches a statement of the form `expr.Lock()` / `expr.Unlock()`
+// (and the RW variants) where the method belongs to sync.Mutex or
+// sync.RWMutex, returning the receiver's source-text key.
+func lockCall(pass *Pass, stmt ast.Stmt) (recv, kind string, ok bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", "", false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", "", false
+	}
+	full := fn.FullName()
+	if !strings.HasPrefix(full, "(*sync.Mutex).") && !strings.HasPrefix(full, "(*sync.RWMutex).") {
+		return "", "", false
+	}
+	return exprKey(sel.X), name, true
+}
+
+// exprKey renders an expression as a stable textual key (s.mu, a.shards[i].mu).
+func exprKey(e ast.Expr) string {
+	var b strings.Builder
+	writeExprKey(&b, e)
+	return b.String()
+}
+
+func writeExprKey(b *strings.Builder, e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		b.WriteString(x.Name)
+	case *ast.SelectorExpr:
+		writeExprKey(b, x.X)
+		b.WriteString(".")
+		b.WriteString(x.Sel.Name)
+	case *ast.IndexExpr:
+		writeExprKey(b, x.X)
+		b.WriteString("[")
+		writeExprKey(b, x.Index)
+		b.WriteString("]")
+	case *ast.StarExpr:
+		b.WriteString("*")
+		writeExprKey(b, x.X)
+	case *ast.ParenExpr:
+		writeExprKey(b, x.X)
+	case *ast.CallExpr:
+		writeExprKey(b, x.Fun)
+		b.WriteString("()")
+	case *ast.BasicLit:
+		b.WriteString(x.Value)
+	default:
+		b.WriteString("?")
+	}
+}
+
+// reportBlocking flags blocking operations inside stmt (not descending into
+// nested blocks — scanLockedBlock recurses into those itself — nor into
+// function literals, which execute outside the critical section).
+func reportBlocking(pass *Pass, stmt ast.Stmt, held map[string]bool) {
+	locks := heldList(held)
+	// Only inspect the statement's own expressions: pull nested block
+	// statements out so they are not double-visited.
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.BlockStmt:
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send while holding %s; the consumer may need the same lock", locks)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				pass.Reportf(n.Pos(), "channel receive while holding %s; the producer may need the same lock", locks)
+				return false
+			}
+		case *ast.SelectStmt:
+			if selectCanBlock(n) {
+				pass.Reportf(n.Pos(), "blocking select while holding %s; add a default case or move it outside the critical section", locks)
+			}
+			return false // comm clauses inspected via selectCanBlock only
+		case *ast.CallExpr:
+			if name := blockingCallName(pass, n); name != "" {
+				pass.Reportf(n.Pos(), "%s while holding %s; sleeping or waiting under a lock serializes every contender", name, locks)
+			}
+		}
+		return true
+	})
+}
+
+// selectCanBlock reports whether a select statement has no default clause.
+func selectCanBlock(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// blockingCallName matches well-known blocking calls: time.Sleep and
+// sync.WaitGroup.Wait.
+func blockingCallName(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if sel.Sel.Name == "Sleep" && pass.pkgNamed(sel.X, "time") {
+		return "time.Sleep"
+	}
+	if sel.Sel.Name == "Wait" {
+		if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok &&
+			strings.HasPrefix(fn.FullName(), "(*sync.WaitGroup).") {
+			return "sync.WaitGroup.Wait"
+		}
+	}
+	return ""
+}
+
+func heldList(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names) // deterministic message text regardless of map order
+	return strings.Join(names, ", ")
+}

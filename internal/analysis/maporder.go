@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags map iteration whose body externalizes the visit order in a
+// determinism-marked package: emitting tuples, appending to a slice the
+// function returns, or writing output. Go randomizes map iteration order
+// per run, so any of these turns a seeded replay into a different
+// tuple/byte sequence each execution. Order-insensitive bodies (summing,
+// counting, building another map) are fine and not flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration that emits, appends to a returned slice, or writes output in a deterministic package",
+	Run:  runMapOrder,
+}
+
+// mapOrderEmitNames are method names whose call inside a map range means
+// the iteration order escapes into the stream.
+var mapOrderEmitNames = map[string]bool{"Emit": true, "EmitDirect": true}
+
+// mapOrderWriteNames are io-style method names treated as output writes.
+var mapOrderWriteNames = map[string]bool{"Write": true, "WriteString": true, "WriteByte": true, "Print": true, "Printf": true, "Println": true}
+
+func runMapOrder(pass *Pass) {
+	if !pass.Deterministic {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			returned := returnedIdents(pass, fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if msg := orderEscape(pass, rs.Body, returned); msg != "" {
+					pass.Reportf(rs.Pos(),
+						"map iteration %s; map order is randomized per run — collect and sort keys first", msg)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// returnedIdents collects the objects of identifiers the function returns,
+// including named result parameters: appending to one of these inside a
+// map range makes the result order nondeterministic.
+func returnedIdents(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if fn.Type.Results != nil {
+		for _, fld := range fn.Type.Results.List {
+			for _, name := range fld.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, e := range ret.Results {
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// orderEscape scans a map-range body for order-externalizing operations and
+// returns a description of the first one found ("" if none). Function
+// literals are scanned too: a closure invoked per iteration externalizes
+// order the same way.
+func orderEscape(pass *Pass, body *ast.BlockStmt, returned map[types.Object]bool) string {
+	msg := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if msg != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			msg = "sends on a channel"
+		case *ast.AssignStmt:
+			// x = append(x, ...) where x is returned by the function.
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Uses[id]
+				if obj == nil {
+					obj = pass.Info.Defs[id]
+				}
+				if obj != nil && returned[obj] {
+					msg = "appends to returned slice " + id.Name
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch {
+				case mapOrderEmitNames[sel.Sel.Name]:
+					msg = "emits tuples (" + sel.Sel.Name + ")"
+				case pass.pkgNamed(sel.X, "fmt"), mapOrderWriteNames[sel.Sel.Name] && isWriterish(pass, sel):
+					msg = "writes output (" + sel.Sel.Name + ")"
+				}
+			}
+		}
+		return msg == ""
+	})
+	return msg
+}
+
+// isBuiltinAppend reports whether call is the append builtin.
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// isWriterish reports whether sel's method belongs to an io.Writer-shaped
+// receiver (has a Write method) so that strings.Builder.WriteString counts
+// but an unrelated method that merely shares the name does not.
+func isWriterish(pass *Pass, sel *ast.SelectorExpr) bool {
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	// Look for a Write method on the receiver (or its pointer type).
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == "Write" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,326 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DeterministicPathSuffixes lists the module-relative package trees that
+// are always under the seeded-determinism contract, independent of any
+// //dsps:deterministic directive — so deleting a directive cannot turn
+// enforcement off for the engine, the chaos harness, or the training
+// engine.
+var DeterministicPathSuffixes = []string{
+	"/internal/dsps",
+	"/internal/chaos",
+	"/internal/nn",
+}
+
+// Config parameterizes one lint run.
+type Config struct {
+	// Dir is the directory patterns resolve against ("" = cwd); the
+	// enclosing module is discovered from it.
+	Dir      string
+	Patterns []string
+	// Enable/Disable select analyzers by name; Enable empty = all.
+	Enable  []string
+	Disable []string
+	// IncludeTests adds _test.go files (and external test packages).
+	IncludeTests bool
+	JSON         bool
+	// SummaryPath, when set, writes the machine-readable baseline summary.
+	SummaryPath string
+
+	Stdout io.Writer
+	Stderr io.Writer
+}
+
+// Report is the full machine-readable result of a run.
+type Report struct {
+	Module      string         `json:"module"`
+	Analyzers   []string       `json:"analyzers"`
+	Packages    int            `json:"packages"`
+	Files       int            `json:"files"`
+	Findings    []Diagnostic   `json:"findings"`
+	Suppressed  []Diagnostic   `json:"suppressed"`
+	Counts      map[string]int `json:"counts"` // unsuppressed findings per analyzer
+	TypeErrors  []string       `json:"type_errors,omitempty"`
+	LoadError   string         `json:"load_error,omitempty"`
+	Suppression int            `json:"suppression_count"`
+}
+
+// Summary is the committed lint baseline: stable across machines (no
+// absolute paths, no timestamps) so suppression creep shows up as a diff.
+type Summary struct {
+	Module       string         `json:"module"`
+	Analyzers    []string       `json:"analyzers"`
+	Packages     int            `json:"packages"`
+	Files        int            `json:"files"`
+	Findings     map[string]int `json:"findings"`
+	Suppressions []struct {
+		Analyzer string `json:"analyzer"`
+		Position string `json:"position"`
+		Reason   string `json:"reason"`
+	} `json:"suppressions"`
+	SuppressionCount int `json:"suppression_count"`
+}
+
+// Run executes the configured lint pass and returns a process exit code:
+// 0 clean, 1 findings, 2 load/type/usage failure.
+func Run(cfg Config) int {
+	stdout, stderr := cfg.Stdout, cfg.Stderr
+	if stdout == nil {
+		stdout = os.Stdout
+	}
+	if stderr == nil {
+		stderr = os.Stderr
+	}
+	report, err := Analyze(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "dspslint: %v\n", err)
+		return 2
+	}
+	if cfg.JSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(stderr, "dspslint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range report.Findings {
+			fmt.Fprintf(stdout, "%s: %s: %s\n", d.Position, d.Analyzer, d.Message)
+		}
+		fmt.Fprintf(stdout, "dspslint: %d finding(s), %d suppressed, %d package(s), %d file(s)\n",
+			len(report.Findings), len(report.Suppressed), report.Packages, report.Files)
+	}
+	if cfg.SummaryPath != "" {
+		if err := writeSummary(cfg.SummaryPath, report); err != nil {
+			fmt.Fprintf(stderr, "dspslint: %v\n", err)
+			return 2
+		}
+	}
+	if len(report.TypeErrors) > 0 {
+		for _, e := range report.TypeErrors {
+			fmt.Fprintf(stderr, "dspslint: type error: %s\n", e)
+		}
+		return 2
+	}
+	if len(report.Findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Analyze loads the requested packages and runs the selected analyzers,
+// returning the full report.
+func Analyze(cfg Config) (*Report, error) {
+	analyzers, err := selectAnalyzers(cfg.Enable, cfg.Disable)
+	if err != nil {
+		return nil, err
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		dir = "."
+	}
+	loader, err := NewLoader(dir, cfg.IncludeTests)
+	if err != nil {
+		return nil, err
+	}
+	patterns := cfg.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &Report{
+		Module: loader.Module,
+		Counts: map[string]int{},
+	}
+	for _, a := range analyzers {
+		report.Analyzers = append(report.Analyzers, a.Name)
+		report.Counts[a.Name] = 0
+	}
+
+	var diags []Diagnostic
+	var ignores []*ignoreEntry
+	for _, pkg := range pkgs {
+		report.Packages++
+		report.Files += len(pkg.Files)
+		markDeterministic(loader.Module, pkg)
+		for _, f := range pkg.Files {
+			ignores = append(ignores, parseIgnores(loader.Fset, f)...)
+		}
+		for _, e := range pkg.TypeErrors {
+			report.TypeErrors = append(report.TypeErrors, e.Error())
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:      a,
+				Fset:          loader.Fset,
+				Files:         pkg.Files,
+				Pkg:           pkg.Types,
+				Info:          pkg.Info,
+				Deterministic: pkg.Deterministic,
+				diags:         &diags,
+			}
+			a.Run(pass)
+		}
+	}
+
+	// Apply suppressions and split findings.
+	for i := range diags {
+		d := &diags[i]
+		d.Position = relPosition(loader.Root, d.Pos)
+		for _, ig := range ignores {
+			if ig.file == d.Pos.Filename && ig.covers(d.Analyzer, d.Pos.Line) {
+				d.Suppressed = true
+				d.Reason = ig.reason
+				ig.used = true
+				break
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	for _, d := range diags {
+		if d.Suppressed {
+			report.Suppressed = append(report.Suppressed, d)
+		} else {
+			report.Findings = append(report.Findings, d)
+			report.Counts[d.Analyzer]++
+		}
+	}
+	report.Suppression = len(report.Suppressed)
+	if report.Findings == nil {
+		report.Findings = []Diagnostic{}
+	}
+	if report.Suppressed == nil {
+		report.Suppressed = []Diagnostic{}
+	}
+	return report, nil
+}
+
+// markDeterministic applies the built-in path list on top of any
+// //dsps:deterministic directive the loader already honored.
+func markDeterministic(module string, pkg *Package) {
+	path := strings.TrimSuffix(pkg.ImportPath, "_test")
+	for _, suffix := range DeterministicPathSuffixes {
+		full := module + suffix
+		if path == full || strings.HasPrefix(path, full+"/") {
+			pkg.Deterministic = true
+		}
+	}
+}
+
+// selectAnalyzers resolves -enable/-disable names against the registry.
+func selectAnalyzers(enable, disable []string) ([]*Analyzer, error) {
+	byName := map[string]*Analyzer{}
+	for _, a := range Analyzers() {
+		byName[a.Name] = a
+	}
+	check := func(names []string) error {
+		for _, n := range names {
+			if _, ok := byName[n]; !ok {
+				return fmt.Errorf("unknown analyzer %q (have: %s)", n, strings.Join(analyzerNames(), ", "))
+			}
+		}
+		return nil
+	}
+	if err := check(enable); err != nil {
+		return nil, err
+	}
+	if err := check(disable); err != nil {
+		return nil, err
+	}
+	selected := map[string]bool{}
+	if len(enable) == 0 {
+		for name := range byName {
+			selected[name] = true
+		}
+	} else {
+		for _, n := range enable {
+			selected[n] = true
+		}
+	}
+	for _, n := range disable {
+		delete(selected, n)
+	}
+	var out []*Analyzer
+	for _, a := range Analyzers() {
+		if selected[a.Name] {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return out, nil
+}
+
+func analyzerNames() []string {
+	var out []string
+	for _, a := range Analyzers() {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// relPosition renders a token position module-relative, stable across
+// machines.
+func relPosition(root string, pos token.Position) string {
+	file := pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("%s:%d:%d", file, pos.Line, pos.Column)
+}
+
+// writeSummary emits the committed baseline form of a report.
+func writeSummary(path string, r *Report) error {
+	s := Summary{
+		Module:           r.Module,
+		Analyzers:        r.Analyzers,
+		Packages:         r.Packages,
+		Files:            r.Files,
+		Findings:         r.Counts,
+		SuppressionCount: len(r.Suppressed),
+	}
+	s.Suppressions = make([]struct {
+		Analyzer string `json:"analyzer"`
+		Position string `json:"position"`
+		Reason   string `json:"reason"`
+	}, 0, len(r.Suppressed))
+	for _, d := range r.Suppressed {
+		s.Suppressions = append(s.Suppressions, struct {
+			Analyzer string `json:"analyzer"`
+			Position string `json:"position"`
+			Reason   string `json:"reason"`
+		}{d.Analyzer, d.Position, d.Reason})
+	}
+	data, err := json.MarshalIndent(&s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,34 @@
+// Package corpus is the atomicmix analyzer's test corpus.
+package corpus
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+	limit  int64
+}
+
+// bump updates hits atomically.
+func (c *counters) bump() { atomic.AddInt64(&c.hits, 1) }
+
+// read mixes in a plain load of the same field.
+func (c *counters) read() int64 {
+	return c.hits // want: atomicmix
+}
+
+// reset mixes in a plain store.
+func (c *counters) reset() {
+	c.hits = 0 // want: atomicmix
+}
+
+// missCount is all-atomic and must NOT be flagged.
+func (c *counters) missCount() int64 { return atomic.LoadInt64(&c.misses) }
+
+func (c *counters) miss() { atomic.AddInt64(&c.misses, 1) }
+
+// limitCheck uses limit only with plain accesses — consistent, must NOT be
+// flagged.
+func (c *counters) limitCheck() bool { return c.limit > 0 }
+
+func (c *counters) setLimit(v int64) { c.limit = v }

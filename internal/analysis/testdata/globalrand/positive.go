@@ -1,0 +1,27 @@
+// Package corpus is the globalrand analyzer's test corpus.
+//
+//dsps:deterministic
+package corpus
+
+import "math/rand"
+
+// sharedRng is package-level shared generator state: draw order depends on
+// goroutine scheduling even though it is seeded.
+var sharedRng = rand.New(rand.NewSource(1)) // want: globalrand (the var, not the constructor)
+
+// globalDraw uses the process-global source.
+func globalDraw() float64 {
+	return rand.Float64() // want: globalrand
+}
+
+// globalShuffle also touches the global source.
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want: globalrand
+}
+
+// seededLocal is the prescribed pattern: explicitly seeded, component-local.
+// Constructors must NOT be flagged.
+func seededLocal(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}

@@ -1,0 +1,10 @@
+package corpus
+
+import "math/rand"
+
+// jitterDraw keeps a justified global draw: the value never reaches a
+// reported number.
+func jitterDraw() float64 {
+	//dspslint:ignore globalrand cosmetic log jitter, never feeds reported numbers
+	return rand.Float64()
+}

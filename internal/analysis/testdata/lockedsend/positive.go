@@ -1,0 +1,96 @@
+// Package corpus is the lockedsend analyzer's test corpus.
+package corpus
+
+import (
+	"sync"
+	"time"
+)
+
+type registry struct {
+	mu      sync.Mutex
+	rw      sync.RWMutex
+	entries map[string]int
+	ch      chan int
+	wg      sync.WaitGroup
+}
+
+// sendUnderLock is the classic straight-line deadlock shape.
+func (r *registry) sendUnderLock(v int) {
+	r.mu.Lock()
+	r.ch <- v // want: lockedsend
+	r.mu.Unlock()
+}
+
+// recvUnderLock blocks on a receive while holding the lock.
+func (r *registry) recvUnderLock() int {
+	r.mu.Lock()
+	v := <-r.ch // want: lockedsend
+	r.mu.Unlock()
+	return v
+}
+
+// selectUnderLock has no default case, so it can block under the lock.
+func (r *registry) selectUnderLock(v int) {
+	r.mu.Lock()
+	select { // want: lockedsend
+	case r.ch <- v:
+	case <-time.After(time.Second):
+	}
+	r.mu.Unlock()
+}
+
+// sleepUnderRLock serializes every reader behind the sleep.
+func (r *registry) sleepUnderRLock() {
+	r.rw.RLock()
+	time.Sleep(time.Millisecond) // want: lockedsend
+	r.rw.RUnlock()
+}
+
+// waitInBranch blocks in a nested branch while the lock is held.
+func (r *registry) waitInBranch(cond bool) {
+	r.mu.Lock()
+	if cond {
+		r.wg.Wait() // want: lockedsend (nested block inherits the held set)
+	}
+	r.mu.Unlock()
+}
+
+// sendAfterUnlock is the correct shape and must NOT be flagged.
+func (r *registry) sendAfterUnlock(v int) {
+	r.mu.Lock()
+	r.entries["k"] = v
+	r.mu.Unlock()
+	r.ch <- v
+}
+
+// nonBlockingUnderLock uses a select with default — cannot block, must NOT
+// be flagged.
+func (r *registry) nonBlockingUnderLock(v int) {
+	r.mu.Lock()
+	select {
+	case r.ch <- v:
+	default:
+	}
+	r.mu.Unlock()
+}
+
+// deferredUnlock is out of scope by design (no deferred-unlock analysis):
+// must NOT be flagged.
+func (r *registry) deferredUnlock(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ch <- v
+}
+
+// unlockInBranchThenSend: the send in the sibling branch still holds the
+// lock copy-tracked into that branch.
+func (r *registry) unlockInBranchThenSend(cond bool, v int) {
+	r.mu.Lock()
+	if cond {
+		r.mu.Unlock()
+		r.ch <- v
+		return
+	}
+	r.ch <- v // want: lockedsend
+	r.mu.Unlock()
+}

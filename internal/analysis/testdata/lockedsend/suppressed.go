@@ -1,0 +1,11 @@
+package corpus
+
+// notifyUnderLock keeps a justified send under the lock: the channel is
+// buffered at the maximum number of notifications and drained by a
+// dedicated goroutine that never takes this lock.
+func (r *registry) notifyUnderLock(v int) {
+	r.mu.Lock()
+	//dspslint:ignore lockedsend buffered at max notifications; drain side never takes r.mu
+	r.ch <- v
+	r.mu.Unlock()
+}

@@ -1,0 +1,67 @@
+// Package corpus is the maporder analyzer's test corpus.
+//
+//dsps:deterministic
+package corpus
+
+import "fmt"
+
+type emitter struct{}
+
+func (emitter) Emit(vs ...any) {}
+
+// emitPerKey externalizes map order through an Emit call.
+func emitPerKey(m map[string]int, out emitter) {
+	for k, v := range m { // want: maporder
+		out.Emit(k, v)
+	}
+}
+
+// appendReturned externalizes map order through the returned slice.
+func appendReturned(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want: maporder
+		out = append(out, v)
+	}
+	return out
+}
+
+// appendNamedResult externalizes map order through a named result.
+func appendNamedResult(m map[string]int) (vals []int) {
+	for _, v := range m { // want: maporder
+		vals = append(vals, v)
+	}
+	return
+}
+
+// printPerKey externalizes map order through output.
+func printPerKey(m map[string]int) {
+	for k := range m { // want: maporder
+		fmt.Println(k)
+	}
+}
+
+// sendPerKey externalizes map order through a channel.
+func sendPerKey(m map[string]int, ch chan string) {
+	for k := range m { // want: maporder
+		ch <- k
+	}
+}
+
+// sumValues is order-insensitive and must NOT be flagged.
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// appendLocal appends to a slice that never escapes via return; sorted by
+// the caller of its own accord, so it must NOT be flagged.
+func appendLocal(m map[string]int, sink *[]int) {
+	var keys []int
+	for _, v := range m {
+		keys = append(keys, v)
+	}
+	*sink = keys
+}

@@ -1,0 +1,11 @@
+package corpus
+
+// drainIndependent iterates a map and sends, but each target consumes
+// independently so cross-key order is immaterial; the suppression records
+// that argument.
+func drainIndependent(byTarget map[string][]int, sinks map[string]chan []int) {
+	//dspslint:ignore maporder per-target batches are independent; no cross-target ordering is observable
+	for tgt, batch := range byTarget {
+		sinks[tgt] <- batch
+	}
+}

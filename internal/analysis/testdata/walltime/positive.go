@@ -1,0 +1,45 @@
+// Package corpus is the walltime analyzer's test corpus: a seeded
+// time.Now() injected into an annotated hot-path function must be caught.
+package corpus
+
+import "time"
+
+type clockHolder struct {
+	stamp int64
+	now   func() time.Time
+}
+
+// stampEnvelope simulates the engine's per-envelope stamping path.
+//
+//dsps:hotpath
+func (c *clockHolder) stampEnvelope() {
+	c.stamp = time.Now().UnixNano() // want: walltime
+}
+
+// ageOf is hot-path and reads the wall clock twice over.
+//
+//dsps:hotpath
+func ageOf(t time.Time) (time.Duration, time.Duration) {
+	return time.Since(t), time.Until(t) // want: walltime ×2
+}
+
+// storeClock smuggles the wall clock in as a function value.
+//
+//dsps:hotpath
+func (c *clockHolder) storeClock() {
+	c.now = time.Now // want: walltime
+}
+
+// coldPath has no annotation: wall-clock reads are fine off the data
+// plane, so this must NOT be flagged.
+func coldPath() int64 {
+	return time.Now().UnixNano()
+}
+
+// timerPark is hot-path but only parks on a timer channel, which is the
+// allowed blocked-sub-path idiom; time.After must NOT be flagged.
+//
+//dsps:hotpath
+func timerPark() {
+	<-time.After(time.Millisecond)
+}

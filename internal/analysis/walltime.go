@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// WallTime bans wall-clock reads inside functions annotated //dsps:hotpath.
+// The data plane stamps envelopes from the coarse atomic clock
+// (coarseClock.nowNs, ≤ one 500µs tick of error) precisely so the per-tuple
+// path never pays a time.Now call; a stray time.Now/Since/Until in an
+// annotated function silently reintroduces that cost and decouples latency
+// stamps from the clock the histograms and the acker share.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "time.Now/Since/Until inside a //dsps:hotpath function; use the coarse clock",
+	Run:  runWallTime,
+}
+
+// wallTimeFuncs are the package time functions that read the wall clock.
+// time.After/NewTicker etc. are deliberately not listed: hot-path functions
+// legitimately park on timers in their blocked (cold) sub-paths.
+var wallTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runWallTime(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotpath(fn) {
+				continue
+			}
+			label := funcLabel(fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || !wallTimeFuncs[sel.Sel.Name] || !pass.pkgNamed(sel.X, "time") {
+					return true
+				}
+				// Flag the bare selector, not just calls: storing time.Now
+				// as a clock func smuggles the same wall-clock read in.
+				pass.Reportf(sel.Pos(),
+					"time.%s in hot-path function %s (//dsps:hotpath); stamp from the coarse clock instead",
+					sel.Sel.Name, label)
+				return true
+			})
+		}
+	}
+}

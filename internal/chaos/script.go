@@ -14,6 +14,11 @@
 // interleavings vary run to run — the invariants are exactly the
 // properties that must hold under every interleaving, which is what makes
 // the harness a soak test rather than a golden-output test.
+//
+// All randomness is drawn from explicitly seeded sources; dspslint
+// enforces that (and map-iteration determinism) for this package.
+//
+//dsps:deterministic
 package chaos
 
 import (

@@ -1,6 +1,7 @@
 package dsps
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -77,12 +78,17 @@ func newAcker(timeout time.Duration, shards int, nowNs func() int64) *acker {
 	return a
 }
 
+// shard is on the per-tuple data plane.
+//
+//dsps:hotpath
 func (a *acker) shard(rootID uint64) *ackerShard {
 	return &a.shards[rootID&a.mask]
 }
 
 // result builds the completion for e, clamping latency to a nanosecond so
 // sub-coarse-tick completions still register as measured.
+//
+//dsps:hotpath
 func (a *acker) result(e *ackEntry, ok bool) ackResult {
 	lat := time.Duration(a.nowNs() - e.startNs)
 	if lat < 1 {
@@ -93,6 +99,8 @@ func (a *acker) result(e *ackEntry, ok bool) ackResult {
 
 // register starts tracking a new root tuple: rootID keys the tree, edgeID
 // is the XOR of the spout's initial output edges.
+//
+//dsps:hotpath
 func (a *acker) register(rootID, edgeID uint64, msgID any, spoutTID int) {
 	s := a.shard(rootID)
 	s.mu.Lock()
@@ -109,6 +117,8 @@ func (a *acker) register(rootID, edgeID uint64, msgID any, spoutTID int) {
 // given output edges: the tracked value XORs the consumed edge and every
 // produced edge. A zero result completes the root; the completion is
 // returned for the caller to deliver.
+//
+//dsps:hotpath
 func (a *acker) transition(rootID, consumedEdge uint64, producedEdges []uint64) (ackResult, bool) {
 	s := a.shard(rootID)
 	s.mu.Lock()
@@ -132,6 +142,8 @@ func (a *acker) transition(rootID, consumedEdge uint64, producedEdges []uint64) 
 
 // fail fails a root immediately (a bolt called Fail on a descendant),
 // returning the completion for the caller to deliver.
+//
+//dsps:hotpath
 func (a *acker) fail(rootID uint64) (ackResult, bool) {
 	s := a.shard(rootID)
 	s.mu.Lock()
@@ -146,26 +158,46 @@ func (a *acker) fail(rootID uint64) (ackResult, bool) {
 }
 
 // sweep fails every root older than the timeout and returns the expired
-// completions. The topology's sweeper goroutine calls it periodically and
-// routes the results back to their spouts.
+// completions, oldest first. The topology's sweeper goroutine calls it
+// periodically and routes the results back to their spouts.
+//
+// The pending tables are maps, so the collection order is randomized per
+// run; expirations are therefore sorted by (start time, rootID) before
+// being returned, making the Fail delivery order a function of the expired
+// set alone — chaos replays see the same ack-fail sequence for the same
+// seed.
 func (a *acker) sweep() []ackResult {
 	if a.timeout <= 0 {
 		return nil
 	}
 	cutoffNs := a.sweepNow().Add(-a.timeout).UnixNano()
-	var expired []ackResult
+	type expiredRoot struct {
+		id uint64
+		e  *ackEntry
+	}
+	var expired []expiredRoot
 	for i := range a.shards {
 		s := &a.shards[i]
 		s.mu.Lock()
 		for id, e := range s.pending {
 			if e.startNs < cutoffNs {
 				delete(s.pending, id)
-				expired = append(expired, a.result(e, false))
+				expired = append(expired, expiredRoot{id: id, e: e})
 			}
 		}
 		s.mu.Unlock()
 	}
-	return expired
+	sort.Slice(expired, func(i, j int) bool {
+		if expired[i].e.startNs != expired[j].e.startNs {
+			return expired[i].e.startNs < expired[j].e.startNs
+		}
+		return expired[i].id < expired[j].id
+	})
+	out := make([]ackResult, len(expired))
+	for i, x := range expired {
+		out[i] = a.result(x.e, false)
+	}
+	return out
 }
 
 // inFlight returns the number of incomplete tracked roots.

@@ -124,7 +124,7 @@ func TestAckerLatencyMeasured(t *testing.T) {
 		stepNs += int64(10 * time.Millisecond)
 		return stepNs
 	}
-	a.register(1, 5, "m", 0) // now = +10ms
+	a.register(1, 5, "m", 0)           // now = +10ms
 	r, done := a.transition(1, 5, nil) // now = +20ms
 	if !done || r.latency != 10*time.Millisecond {
 		t.Fatalf("latency = %v, done = %v", r.latency, done)

@@ -21,6 +21,8 @@ type tupleArena struct {
 
 // get returns a zeroed *Tuple; the caller initializes every field it
 // needs.
+//
+//dsps:hotpath
 func (a *tupleArena) get() *Tuple {
 	if a.next == len(a.chunk) {
 		a.chunk = make([]Tuple, arenaChunk)
@@ -53,6 +55,8 @@ func newFreeLists() *freeLists {
 
 // getEnvs returns an empty envelope batch with at least its previous
 // capacity, falling back to a fresh allocation of capHint.
+//
+//dsps:hotpath
 func (f *freeLists) getEnvs(capHint int) []envelope {
 	select {
 	case b := <-f.envs:
@@ -64,6 +68,8 @@ func (f *freeLists) getEnvs(capHint int) []envelope {
 
 // putEnvs recycles a batch, clearing tuple pointers so a parked slice
 // does not pin arena chunks.
+//
+//dsps:hotpath
 func (f *freeLists) putEnvs(b []envelope) {
 	if cap(b) == 0 {
 		return
@@ -77,6 +83,9 @@ func (f *freeLists) putEnvs(b []envelope) {
 	}
 }
 
+// getAcks is on the per-tuple data plane.
+//
+//dsps:hotpath
 func (f *freeLists) getAcks(capHint int) []ackResult {
 	select {
 	case b := <-f.acks:
@@ -86,6 +95,9 @@ func (f *freeLists) getAcks(capHint int) []ackResult {
 	}
 }
 
+// putAcks is on the per-tuple data plane.
+//
+//dsps:hotpath
 func (f *freeLists) putAcks(b []ackResult) {
 	if cap(b) == 0 {
 		return

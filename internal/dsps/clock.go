@@ -22,6 +22,8 @@ type coarseClock struct {
 }
 
 // nowNs returns the last published timestamp.
+//
+//dsps:hotpath
 func (c *coarseClock) nowNs() int64 { return c.ns.Load() }
 
 // run refreshes the clock until ctx is cancelled. The caller must have

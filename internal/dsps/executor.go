@@ -186,15 +186,15 @@ func (c *Cluster) buildRuntime(t *Topology, sc SubmitConfig) (*runningTopology, 
 				worker:       place(),
 				execCost:     bd.execCost,
 				tickInterval: bd.tickInterval,
-				bolt: bd.factory(),
+				bolt:         bd.factory(),
 				// The queue bound is enforced in tuples by reserve();
 				// sizing the channel at QueueSize slots means a reserved
 				// batch (≥1 tuple each) always finds a free slot, so the
 				// send after a successful reservation never blocks.
-				inCh:  make(chan []envelope, c.cfg.QueueSize),
-				space: make(chan struct{}, 1),
-				rng:   rand.New(rand.NewSource(taskSeed)),
-				edgeState:    uint64(taskSeed),
+				inCh:      make(chan []envelope, c.cfg.QueueSize),
+				space:     make(chan struct{}, 1),
+				rng:       rand.New(rand.NewSource(taskSeed)),
+				edgeState: uint64(taskSeed),
 			}
 			if tk.bolt == nil {
 				rt.cancel()
@@ -360,6 +360,8 @@ func (rt *runningTopology) quiescent() bool {
 // a few arithmetic ops instead of a math/rand call, seeded per task so
 // runs are reproducible. Edge ids of zero would be invisible to the XOR
 // tree.
+//
+//dsps:hotpath
 func (tk *task) nextEdgeID() uint64 {
 	for {
 		tk.edgeState += 0x9e3779b97f4a7c15
@@ -381,6 +383,8 @@ func (tk *task) nextEdgeID() uint64 {
 // tk.selScratch as outs indices, returning the selection count. Single-
 // target groupings go through the selectOne fast path; only AllGrouping
 // (and third-party groupings) pay the Select allocation.
+//
+//dsps:hotpath
 func (rt *runningTopology) routeInto(tk *task, tpl *Tuple) int {
 	sel := tk.selScratch[:0]
 	for ei, e := range tk.outEdges {
@@ -407,6 +411,8 @@ func (rt *runningTopology) routeInto(tk *task, tpl *Tuple) int {
 
 // enqueue appends one envelope to the out-buffer at bufIdx, flushing the
 // buffer when it reaches the batch size.
+//
+//dsps:hotpath
 func (rt *runningTopology) enqueue(tk *task, bufIdx int, tpl *Tuple, nowNs int64) {
 	ob := &tk.outs[bufIdx]
 	if ob.envs == nil {
@@ -425,6 +431,8 @@ func (rt *runningTopology) enqueue(tk *task, bufIdx int, tpl *Tuple, nowNs int64
 }
 
 // flushOut sends every non-empty out-buffer of tk downstream.
+//
+//dsps:hotpath
 func (rt *runningTopology) flushOut(tk *task) {
 	if tk.outPending.Load() == 0 {
 		tk.firstBufNs = 0
@@ -456,6 +464,8 @@ const blockedRecheck = 10 * time.Millisecond
 // when the queue is full. The bound is counted in tuples — not batch
 // slots — so a stream of tiny partial batches cannot collapse the
 // effective queue capacity below QueueSize.
+//
+//dsps:hotpath
 func (tk *task) reserve(n, bound int64) bool {
 	for {
 		q := tk.queued.Load()
@@ -470,6 +480,8 @@ func (tk *task) reserve(n, bound int64) bool {
 
 // release frees n reserved tuple slots (at batch receive) and wakes one
 // blocked producer, if any.
+//
+//dsps:hotpath
 func (tk *task) release(n int64) {
 	tk.queued.Add(-n)
 	select {
@@ -489,6 +501,8 @@ func (tk *task) release(n int64) {
 // "re-direct data tuples to bypass misbehaving workers" applied to
 // in-flight emissions. Non-dynamic edges never re-route (fields grouping
 // correctness depends on stable key→task assignment).
+//
+//dsps:hotpath
 func (rt *runningTopology) sendBatch(src *task, e *edge, target *task, envs []envelope) {
 	n := int64(len(envs))
 	bound := int64(rt.cfg.QueueSize)
@@ -527,6 +541,8 @@ type spoutCollector struct {
 
 // Emit implements SpoutCollector. Called only from the spout's executor
 // goroutine.
+//
+//dsps:hotpath
 func (sc *spoutCollector) Emit(values Values, msgID any) {
 	rt, tk := sc.rt, sc.tk
 	tpl := tk.arena.get()
@@ -582,6 +598,8 @@ func (sc *spoutCollector) Emit(values Values, msgID any) {
 
 // handleAckBatch applies a batch of completions to the spout and recycles
 // the slice.
+//
+//dsps:hotpath
 func (rt *runningTopology) handleAckBatch(tk *task, rb []ackResult) {
 	for _, r := range rb {
 		tk.pending--
@@ -687,6 +705,8 @@ type boltCollector struct {
 
 // Emit implements OutputCollector. Called only from the bolt's executor
 // goroutine during Execute.
+//
+//dsps:hotpath
 func (bc *boltCollector) Emit(values Values) {
 	rt, tk := bc.rt, bc.tk
 	tpl := tk.arena.get()
@@ -724,6 +744,8 @@ func (bc *boltCollector) Fail() { bc.failed = true }
 
 // addAck stages a completion for its spout, flushing that spout's batch
 // when full.
+//
+//dsps:hotpath
 func (bc *boltCollector) addAck(r ackResult) {
 	var ab *ackBatch
 	for i := range bc.acks {
@@ -751,6 +773,8 @@ func (bc *boltCollector) addAck(r ackResult) {
 }
 
 // flushAcks delivers every staged completion batch.
+//
+//dsps:hotpath
 func (bc *boltCollector) flushAcks() {
 	for i := range bc.acks {
 		ab := &bc.acks[i]
@@ -764,6 +788,8 @@ func (bc *boltCollector) flushAcks() {
 // processEnvelope runs the full per-tuple bolt path: tick bypass, fault
 // draws, the interference cost model, Execute, metrics, and ack-tree
 // bookkeeping. Returns false when the topology shut down mid-stall.
+//
+//dsps:hotpath
 func (rt *runningTopology) processEnvelope(tk *task, collector *boltCollector, env *envelope) bool {
 	n := tk.worker.node
 	if env.tuple.IsTick() {

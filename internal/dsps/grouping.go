@@ -36,10 +36,15 @@ type ShuffleGrouping struct {
 func (g *ShuffleGrouping) Name() string { return "shuffle" }
 
 // Select implements Grouping.
+//
+//dsps:hotpath
 func (g *ShuffleGrouping) Select(t *Tuple, numTasks int) []int {
 	return []int{g.selectOne(t, numTasks)}
 }
 
+// selectOne is on the per-tuple data plane.
+//
+//dsps:hotpath
 func (g *ShuffleGrouping) selectOne(_ *Tuple, numTasks int) int {
 	return int((g.next.Add(1) - 1) % uint64(numTasks))
 }
@@ -55,10 +60,15 @@ type FieldsGrouping struct {
 func (g *FieldsGrouping) Name() string { return "fields" }
 
 // Select implements Grouping.
+//
+//dsps:hotpath
 func (g *FieldsGrouping) Select(t *Tuple, numTasks int) []int {
 	return []int{g.selectOne(t, numTasks)}
 }
 
+// selectOne is on the per-tuple data plane.
+//
+//dsps:hotpath
 func (g *FieldsGrouping) selectOne(t *Tuple, numTasks int) int {
 	return int(g.key(t) % uint64(numTasks))
 }
@@ -91,6 +101,8 @@ func fnvString(h uint64, s string) uint64 {
 // type (strings and numbers directly, anything else through fmt); each
 // field is terminated by a zero byte so adjacent fields cannot collide by
 // concatenation.
+//
+//dsps:hotpath
 func (g *FieldsGrouping) key(t *Tuple) uint64 {
 	h := fnvOffset64
 	for _, f := range g.Fields {
@@ -132,8 +144,13 @@ type GlobalGrouping struct{}
 func (GlobalGrouping) Name() string { return "global" }
 
 // Select implements Grouping.
+//
+//dsps:hotpath
 func (GlobalGrouping) Select(*Tuple, int) []int { return []int{0} }
 
+// selectOne is on the per-tuple data plane.
+//
+//dsps:hotpath
 func (GlobalGrouping) selectOne(*Tuple, int) int { return 0 }
 
 // AllGrouping replicates every tuple to every downstream task.
@@ -143,6 +160,8 @@ type AllGrouping struct{}
 func (AllGrouping) Name() string { return "all" }
 
 // Select implements Grouping.
+//
+//dsps:hotpath
 func (AllGrouping) Select(_ *Tuple, numTasks int) []int {
 	out := make([]int, numTasks)
 	for i := range out {
@@ -224,10 +243,15 @@ func (g *DynamicGrouping) Updates() int {
 // Select implements Grouping via smooth weighted round-robin: each task
 // accumulates credit equal to its ratio per tuple; the task with the most
 // credit wins and pays back 1.
+//
+//dsps:hotpath
 func (g *DynamicGrouping) Select(t *Tuple, numTasks int) []int {
 	return []int{g.selectOne(t, numTasks)}
 }
 
+// selectOne is on the per-tuple data plane.
+//
+//dsps:hotpath
 func (g *DynamicGrouping) selectOne(_ *Tuple, numTasks int) int {
 	g.mu.Lock()
 	defer g.mu.Unlock()

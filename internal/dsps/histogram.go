@@ -21,6 +21,8 @@ type latencyHist struct {
 }
 
 // observe records one latency sample.
+//
+//dsps:hotpath
 func (h *latencyHist) observe(d time.Duration) {
 	if d < 0 {
 		d = 0

@@ -9,6 +9,13 @@
 // control framework in internal/core interacts with it exactly the way the
 // paper's framework interacts with Storm — by reading multilevel runtime
 // statistics and by updating dynamic-grouping split ratios.
+//
+// The engine is seed-deterministic: all randomness flows from explicitly
+// seeded per-component sources (see DESIGN.md "Engine determinism"), and
+// dspslint mechanically enforces the package's randomness, map-order, and
+// hot-path clock discipline.
+//
+//dsps:deterministic
 package dsps
 
 import "fmt"

@@ -3,6 +3,11 @@
 // truncated backpropagation through time, gradient clipping, and model
 // serialization. Everything operates on float64 with batch size one per
 // sequence, which is the regime of the paper's small per-worker predictors.
+//
+// Training is seed-deterministic (bitwise-identical for any Workers value);
+// dspslint enforces the package's randomness discipline.
+//
+//dsps:deterministic
 package nn
 
 import "math"

@@ -73,6 +73,8 @@ func (d *Dense) Replicate() *Dense {
 
 // Forward computes the layer output for x, caching what Backward needs. The
 // returned slice aliases the layer workspace.
+//
+//dsps:hotpath
 func (d *Dense) Forward(x []float64) []float64 {
 	if len(x) != d.In {
 		panic(fmt.Sprintf("nn: dense forward got %d inputs, want %d", len(x), d.In))
@@ -89,6 +91,8 @@ func (d *Dense) Forward(x []float64) []float64 {
 
 // Backward accumulates parameter gradients for the cached example given
 // dOut = ∂L/∂y and returns ∂L/∂x (workspace-backed).
+//
+//dsps:hotpath
 func (d *Dense) Backward(dOut []float64) []float64 {
 	if len(dOut) != d.Out {
 		panic(fmt.Sprintf("nn: dense backward got %d grads, want %d", len(dOut), d.Out))

@@ -159,6 +159,8 @@ func (g *GRU) HiddenSize() int { return g.Hidden }
 func (g *GRU) CellType() string { return "gru" }
 
 // ForwardSeq implements Recurrent.
+//
+//dsps:hotpath
 func (g *GRU) ForwardSeq(seq [][]float64) [][]float64 {
 	w := &g.ws
 	w.ensure(g.In, g.Hidden, len(seq))
@@ -188,6 +190,8 @@ func (g *GRU) ForwardSeq(seq [][]float64) [][]float64 {
 }
 
 // gatePre computes dst = Wx·x + Wh·rec + b for one gate, in place.
+//
+//dsps:hotpath
 func (g *GRU) gatePre(gate int, dst, x, rec []float64) {
 	g.wx[gate].W.MulVecTo(dst, x)
 	g.wh[gate].W.MulVecAdd(dst, rec)
@@ -198,6 +202,8 @@ func (g *GRU) gatePre(gate int, dst, x, rec []float64) {
 }
 
 // BackwardSeq implements Recurrent.
+//
+//dsps:hotpath
 func (g *GRU) BackwardSeq(dH [][]float64) [][]float64 {
 	w := &g.ws
 	if len(dH) != w.n {
@@ -254,6 +260,8 @@ func (g *GRU) BackwardSeq(dH [][]float64) [][]float64 {
 // accumGate accumulates one gate's weight gradients for pre-activation
 // gradient dPre with inputs (x, rec), adding input gradients into dx and
 // recurrent-input gradients into dRec.
+//
+//dsps:hotpath
 func (g *GRU) accumGate(gate int, dPre, x, rec, dx, dRec []float64) {
 	wxG, whG, bG := g.wx[gate], g.wh[gate], g.b[gate]
 	bd := bG.Grad.Data()

@@ -136,6 +136,8 @@ func (l *LSTM) Replicate() Recurrent {
 // zero state, returning the hidden state at every timestep. The returned
 // slices alias the layer workspace and stay valid until the next
 // ForwardSeq call on this instance.
+//
+//dsps:hotpath
 func (l *LSTM) ForwardSeq(seq [][]float64) [][]float64 {
 	w := &l.ws
 	w.ensure(l.In, l.Hidden, len(seq))
@@ -180,6 +182,8 @@ func (l *LSTM) ForwardSeq(seq [][]float64) [][]float64 {
 // step). It accumulates parameter gradients and returns ∂L/∂x_t per step;
 // the returned slices alias the workspace and stay valid until the next
 // BackwardSeq call.
+//
+//dsps:hotpath
 func (l *LSTM) BackwardSeq(dH [][]float64) [][]float64 {
 	w := &l.ws
 	if len(dH) != w.n {

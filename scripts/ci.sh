@@ -1,15 +1,30 @@
 #!/usr/bin/env sh
-# CI gate: vet, build, full test suite, the race detector over the
-# packages with real concurrency (training engine, stream engine, chaos
-# harness), a one-iteration benchmark smoke, a short chaos soak against
-# the live engine, and a fuzz smoke over each native fuzz target. Run via
-# `make ci` or directly.
+# CI gate: vet, gofmt, the dspslint invariant linter, build, full test
+# suite, the race detector over the packages with real concurrency
+# (training engine, stream engine, chaos harness), a one-iteration
+# benchmark smoke, a short chaos soak against the live engine, and a
+# fuzz smoke over each native fuzz target. Run via `make ci` or directly.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 echo "== go vet =="
 go vet ./...
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== dspslint (invariant linter) =="
+# JSON report is kept as a CI artifact regardless of outcome; the
+# human-readable `make lint` run below is the actual gate.
+mkdir -p artifacts
+go run ./cmd/dspslint -json ./... > artifacts/dspslint.json || true
+make lint
 
 echo "== go build =="
 go build ./...

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race ci lint lint-baseline bench bench-train bench-engine bench-smoke soak soak-short fuzz-smoke
+.PHONY: build test race ci lint lint-baseline doccheck bench bench-train bench-engine bench-smoke soak soak-short fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,11 @@ lint:
 # Regenerate the committed machine-readable lint baseline.
 lint-baseline:
 	$(GO) run ./cmd/dspslint -summary LINT_BASELINE.json ./...
+
+# Documentation gate: markdown link validation plus the exported-symbol
+# doc-comment audit over the operator-facing packages.
+doccheck:
+	bash scripts/doccheck.sh
 
 test:
 	$(GO) test ./...

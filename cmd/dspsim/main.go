@@ -35,6 +35,7 @@ import (
 	"predstream/internal/console"
 	"predstream/internal/core"
 	"predstream/internal/dsps"
+	"predstream/internal/obs"
 	"predstream/internal/telemetry"
 	"predstream/internal/workload"
 )
@@ -75,6 +76,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	flushInterval := fs.Duration("flush-interval", 0, "spout partial-batch flush deadline (0 = engine default)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file on shutdown")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on shutdown")
+	obsAddr := fs.String("obs", "", "serve the observability endpoints (/metrics /healthz /trace.json /trace/chrome /events /debug/pprof) on this address (e.g. :9090)")
+	traceSample := fs.Float64("trace-sample", 0, "fraction of anchored roots to trace (0 disables; chaos mode defaults to 0.05)")
+	traceBuf := fs.Int("trace-buf", 0, "trace ring capacity in spans (0 = default 4096)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -149,6 +153,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.AckTimeout = 2 * time.Second
 		cfg.QueueSize = 2048
 	}
+	cfg.TraceSampleRate = *traceSample
+	cfg.TraceBufferSize = *traceBuf
+	if *chaosMode && cfg.TraceSampleRate == 0 {
+		// A failing chaos seed dumps its sampled trace, so chaos runs keep
+		// a light tracer on by default.
+		cfg.TraceSampleRate = 0.05
+	}
+	var obsSink *obs.MemorySink
+	var obsLogger *obs.Logger
+	if *obsAddr != "" {
+		obsSink = obs.NewMemorySink(1024)
+		obsLogger = obs.NewLogger(obsSink, obs.LevelDebug)
+		cfg.Events = obsLogger
+	}
 	cluster := dsps.NewCluster(cfg)
 	if err := cluster.Submit(topo, dsps.SubmitConfig{Workers: *workers}); err != nil {
 		return err
@@ -168,9 +186,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if !*dynamic {
 			return fmt.Errorf("-control requires -dynamic")
 		}
+		ctrlCfg := core.Config{Policy: core.PolicyBypass}
+		if obsLogger != nil {
+			ctrlCfg.Events = obsLogger
+		}
 		ctrl, err = core.NewController(cluster,
 			[]core.ControlTarget{{Component: stage, Grouping: dg}},
-			core.Config{Policy: core.PolicyBypass})
+			ctrlCfg)
 		if err != nil {
 			return err
 		}
@@ -180,16 +202,51 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 		}()
 	}
-
-	if *chaosMode {
-		return runChaos(cluster, topo, dg, ctrl, chaosConfig{
-			seed: *chaosSeed, events: *chaosEvents, horizon: *duration,
-			workers: *workers, stage: stage, controlPeriod: *controlPeriod,
-			verbose: *chaosVerbose,
-		}, stdout)
+	if obsLogger != nil && dg != nil {
+		lg, comp := obsLogger, stage
+		dg.SetOnChange(func(ratios []float64) {
+			lg.Info("dynamic ratios changed",
+				obs.String("component", comp), obs.String("ratios", fmt.Sprint(ratios)))
+		})
 	}
 
 	sampler := telemetry.NewSamplerFiltered(0, stage)
+	var chaosMetrics *chaos.Metrics
+	if *chaosMode {
+		chaosMetrics = &chaos.Metrics{}
+	}
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		reg.Register(obs.NewClusterCollector(cluster))
+		reg.Register(obs.NewRuntimeCollector())
+		if ctrl != nil {
+			reg.Register(obs.NewControllerCollector(ctrl))
+		}
+		if chaosMetrics != nil {
+			reg.Register(obs.NewChaosCollector(chaosMetrics))
+		} else {
+			reg.Register(obs.NewSamplerCollector(sampler))
+		}
+		srv, err := obs.NewServer(*obsAddr, obs.ServerConfig{Registry: reg, Trace: cluster.Trace(), Events: obsSink})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "observability listening on %s (/metrics /healthz /trace.json /trace/chrome /events /debug/pprof)\n", srv.Addr())
+	}
+
+	if *chaosMode {
+		cc := chaosConfig{
+			seed: *chaosSeed, events: *chaosEvents, horizon: *duration,
+			workers: *workers, stage: stage, controlPeriod: *controlPeriod,
+			verbose: *chaosVerbose, metrics: chaosMetrics,
+		}
+		if obsLogger != nil {
+			cc.sink = obsLogger
+		}
+		return runChaos(cluster, topo, dg, ctrl, cc, stdout)
+	}
+
 	if *httpAddr != "" {
 		srv, err := console.New(cluster, sampler, ctrl)
 		if err != nil {
@@ -258,6 +315,8 @@ type chaosConfig struct {
 	stage         string
 	controlPeriod time.Duration
 	verbose       bool
+	metrics       *chaos.Metrics
+	sink          dsps.EventSink
 }
 
 // runChaos generates a seeded fault schedule, replays it under invariant
@@ -277,7 +336,7 @@ func runChaos(cluster *dsps.Cluster, topo *dsps.Topology, dg *dsps.DynamicGroupi
 		Workers: cc.workers,
 		Stall:   true, Checkpoint: true, Pause: true,
 	})
-	opts := chaos.Options{SpoutComponents: topo.Spouts()}
+	opts := chaos.Options{SpoutComponents: topo.Spouts(), Metrics: cc.metrics, Events: cc.sink}
 	if cc.verbose {
 		opts.Log = stdout
 	}
@@ -298,5 +357,20 @@ func runChaos(cluster *dsps.Cluster, topo *dsps.Topology, dg *dsps.DynamicGroupi
 		return err
 	}
 	fmt.Fprint(stdout, rep)
-	return rep.Err()
+	if rerr := rep.Err(); rerr != nil {
+		// A failing seed dumps its sampled tuple trace so the violation can
+		// be inspected offline (or replayed via docs/OBSERVABILITY.md).
+		if tr := cluster.Trace(); tr != nil {
+			path := fmt.Sprintf("chaos_trace_%d.json", cc.seed)
+			if f, ferr := os.Create(path); ferr == nil {
+				obs.WriteTraceJSON(f, tr.Spans())
+				f.Close()
+				fmt.Fprintf(stdout, "chaos: wrote sampled trace of failing seed to %s (%d spans)\n", path, tr.Len())
+			} else {
+				fmt.Fprintf(stdout, "chaos: could not write trace: %v\n", ferr)
+			}
+		}
+		return rerr
+	}
+	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"predstream/internal/experiments"
+	"predstream/internal/obs"
 )
 
 func main() {
@@ -49,8 +50,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ackerShards := fs.Int("acker-shards", 0, "engine acker shard count, rounded up to a power of two (0 = engine default)")
 	engineBatch := fs.Int("engine-batch", 0, "engine micro-batch size in tuples (0 = engine default)")
 	flushInterval := fs.Duration("flush-interval", 0, "engine partial-batch flush deadline (0 = engine default)")
+	obsAddr := fs.String("obs", "", "serve /metrics (Go runtime), /healthz and /debug/pprof on this address while the suite runs (e.g. :9090)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		reg.Register(obs.NewRuntimeCollector())
+		srv, err := obs.NewServer(*obsAddr, obs.ServerConfig{Registry: reg})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "observability listening on %s (/metrics /healthz /debug/pprof)\n", srv.Addr())
 	}
 	knobs := experiments.EngineKnobs{
 		AckerShards: *ackerShards, BatchSize: *engineBatch, FlushInterval: *flushInterval,

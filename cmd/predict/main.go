@@ -21,6 +21,7 @@ import (
 	"predstream/internal/arima"
 	"predstream/internal/drnn"
 	"predstream/internal/dsps"
+	"predstream/internal/obs"
 	"predstream/internal/stats"
 	"predstream/internal/svr"
 	"predstream/internal/telemetry"
@@ -65,11 +66,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ackerShards := fs.Int("acker-shards", 0, "live engine acker shard count (0 = engine default)")
 	engineBatch := fs.Int("engine-batch", 0, "live engine micro-batch size in tuples (0 = engine default)")
 	flushInterval := fs.Duration("flush-interval", 0, "live engine partial-batch flush deadline (0 = engine default)")
+	obsAddr := fs.String("obs", "", "serve /metrics, /healthz and /debug/pprof on this address (with -live also the engine metrics; e.g. :9090)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	engineCfg := dsps.ClusterConfig{
 		Nodes: 2, AckerShards: *ackerShards, BatchSize: *engineBatch, FlushInterval: *flushInterval,
+	}
+	var obsReg *obs.Registry
+	if *obsAddr != "" {
+		obsReg = obs.NewRegistry()
+		obsReg.Register(obs.NewRuntimeCollector())
+		srv, err := obs.NewServer(*obsAddr, obs.ServerConfig{Registry: obsReg})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "observability listening on %s (/metrics /healthz /debug/pprof)\n", srv.Addr())
 	}
 
 	metric := telemetry.TargetProcTime
@@ -91,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		traces, err = trace.ReadCSV(f)
 		f.Close()
 	case *live:
-		traces, err = collectLive(stdout, *app, *steps, *livePeriod, *seed, engineCfg)
+		traces, err = collectLive(stdout, *app, *steps, *livePeriod, *seed, engineCfg, obsReg)
 	default:
 		traces, err = synthetic(*app, *steps, *seed)
 	}
@@ -267,7 +280,10 @@ func synthetic(app string, steps int, seed int64) (map[string][]telemetry.Window
 	}
 }
 
-func collectLive(stdout io.Writer, app string, windows int, period time.Duration, seed int64, ccfg dsps.ClusterConfig) (map[string][]telemetry.WindowStats, error) {
+// collectLive runs the app on a live cluster and samples per-worker
+// windows; when reg is non-nil the cluster's metrics join the /metrics
+// page for the duration of the collection.
+func collectLive(stdout io.Writer, app string, windows int, period time.Duration, seed int64, ccfg dsps.ClusterConfig, reg *obs.Registry) (map[string][]telemetry.WindowStats, error) {
 	var topo *dsps.Topology
 	var err error
 	var stage string
@@ -298,6 +314,10 @@ func collectLive(stdout io.Writer, app string, windows int, period time.Duration
 	defer cluster.Shutdown()
 	fmt.Fprintf(stdout, "collecting %d live windows every %v from %q stage %s…\n", windows, period, app, stage)
 	sampler := telemetry.NewSamplerFiltered(0, stage)
+	if reg != nil {
+		reg.Register(obs.NewClusterCollector(cluster))
+		reg.Register(obs.NewSamplerCollector(sampler))
+	}
 	ticker := time.NewTicker(period)
 	defer ticker.Stop()
 	for i := 0; i <= windows; i++ {

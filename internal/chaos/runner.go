@@ -4,10 +4,29 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"predstream/internal/dsps"
 )
+
+// Metrics exposes live chaos-run counters as atomics, safe to read
+// concurrently while Run executes — the hook internal/obs scrapes for
+// /metrics. Share one Metrics across sequential runs to accumulate.
+type Metrics struct {
+	// Runs counts Run invocations.
+	Runs atomic.Int64
+	// EventsFired counts script events successfully applied.
+	EventsFired atomic.Int64
+	// EventsSkipped counts script events rejected (unknown worker, dead
+	// topology, invalid fault — all legitimate under churn).
+	EventsSkipped atomic.Int64
+	// Checks counts invariant sweeps.
+	Checks atomic.Int64
+	// Violations holds the violation count of the current/last run
+	// (stored, not accumulated, after every sweep).
+	Violations atomic.Int64
+}
 
 // ControlledEdge declares one dynamic-grouping edge whose plan the checker
 // audits (see checker.plan).
@@ -44,6 +63,12 @@ type Options struct {
 	MaxViolations int
 	// Log, when set, receives one line per fired event.
 	Log io.Writer
+	// Metrics, when set, is updated live as the run progresses (fired/
+	// skipped events, checks, violations) for metrics scraping.
+	Metrics *Metrics
+	// Events, when set, receives one structured event per fired or
+	// skipped script event (obs.Logger satisfies the interface).
+	Events dsps.EventSink
 }
 
 // Report is the outcome of a chaos run.
@@ -135,6 +160,9 @@ func Run(c *dsps.Cluster, s Script, opts Options) (*Report, error) {
 	}
 
 	rep := &Report{Seed: s.Seed, Events: len(evs)}
+	if opts.Metrics != nil {
+		opts.Metrics.Runs.Add(1)
+	}
 	// Queue occupancy is producer-reserved before each batch hand-off, so
 	// the configured bound holds exactly regardless of batch sizes.
 	ck := newChecker(c.Config().QueueSize, opts.MaxViolations)
@@ -175,6 +203,10 @@ func Run(c *dsps.Cluster, s Script, opts Options) (*Report, error) {
 			ck.plan(e, snap, stalledFor)
 		}
 		rep.Checks++
+		if opts.Metrics != nil {
+			opts.Metrics.Checks.Add(1)
+			opts.Metrics.Violations.Store(int64(len(ck.violations)))
+		}
 	}
 	// quiesce clears every fault, pauses spouts, and drains: once faults
 	// are cleared, queue growth must be bounded — the cluster has to reach
@@ -199,6 +231,10 @@ func Run(c *dsps.Cluster, s Script, opts Options) (*Report, error) {
 			ck.quiescent(c.InFlight(), snap, spouts)
 		}
 		rep.Checks++
+		if opts.Metrics != nil {
+			opts.Metrics.Checks.Add(1)
+			opts.Metrics.Violations.Store(int64(len(ck.violations)))
+		}
 		if resume {
 			c.ResumeSpouts()
 		}
@@ -263,9 +299,21 @@ func Run(c *dsps.Cluster, s Script, opts Options) (*Report, error) {
 		if applied {
 			rep.Fired++
 			logf("chaos: fired %s", ev)
+			if opts.Metrics != nil {
+				opts.Metrics.EventsFired.Add(1)
+			}
+			if opts.Events != nil {
+				opts.Events.Event(dsps.EventWarn, "chaos event fired", "event", fmt.Sprint(ev))
+			}
 		} else {
 			rep.Skipped++
 			logf("chaos: skipped %s", ev)
+			if opts.Metrics != nil {
+				opts.Metrics.EventsSkipped.Add(1)
+			}
+			if opts.Events != nil {
+				opts.Events.Event(dsps.EventDebug, "chaos event skipped", "event", fmt.Sprint(ev))
+			}
 		}
 	}
 
@@ -290,6 +338,9 @@ func Run(c *dsps.Cluster, s Script, opts Options) (*Report, error) {
 	rep.Elapsed = time.Since(ck.start)
 	rep.Violations = ck.violations
 	rep.ViolationsTruncated = ck.truncated
+	if opts.Metrics != nil {
+		opts.Metrics.Violations.Store(int64(len(ck.violations)))
+	}
 	return rep, nil
 }
 

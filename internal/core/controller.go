@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -95,6 +97,10 @@ type Config struct {
 	// steered), so unrelated co-hosted tasks don't dilute the prediction
 	// signal. Pass ["*"] to sample every component.
 	Components []string
+	// Events, when set, receives one structured event per applied control
+	// plan and per detected misbehaving worker (obs.Logger satisfies the
+	// interface); nil disables event emission.
+	Events dsps.EventSink
 }
 
 func (c Config) withDefaults() Config {
@@ -331,9 +337,42 @@ func (c *Controller) Step() (StepReport, error) {
 			return report, fmt.Errorf("core: apply ratios to %s: %w", target.Component, err)
 		}
 		report.Applied[target.Component] = ratios
+		if c.cfg.Events != nil {
+			c.cfg.Events.Event(dsps.EventInfo, "control plan applied",
+				"component", target.Component,
+				"ratios", formatRatios(ratios),
+				"misbehaving", misbehavingList(report.Misbehaving))
+		}
 	}
 	c.history = append(c.history, report)
 	return report, nil
+}
+
+// formatRatios renders a ratio vector compactly for event attributes.
+func formatRatios(ratios []float64) string {
+	var b strings.Builder
+	for i, r := range ratios {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatFloat(r, 'f', 3, 64))
+	}
+	return b.String()
+}
+
+// misbehavingList renders the flagged workers sorted, or "none".
+func misbehavingList(verdicts map[string]bool) string {
+	var flagged []string
+	for id, bad := range verdicts {
+		if bad {
+			flagged = append(flagged, id)
+		}
+	}
+	if len(flagged) == 0 {
+		return "none"
+	}
+	sort.Strings(flagged)
+	return strings.Join(flagged, ",")
 }
 
 // Run executes Step on the given period until ctx is cancelled, returning

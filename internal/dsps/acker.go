@@ -200,6 +200,19 @@ func (a *acker) sweep() []ackResult {
 	return out
 }
 
+// shardPending returns the pending-root count of each lock shard, in
+// shard order — the per-stripe breakdown behind inFlight.
+func (a *acker) shardPending() []int {
+	out := make([]int, len(a.shards))
+	for i := range a.shards {
+		s := &a.shards[i]
+		s.mu.Lock()
+		out[i] = len(s.pending)
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // inFlight returns the number of incomplete tracked roots.
 func (a *acker) inFlight() int {
 	total := 0

@@ -133,6 +133,43 @@ func BenchmarkEngineLinearAckedW1(b *testing.B) { benchLinearAcked(b, 1) }
 func BenchmarkEngineLinearAckedW2(b *testing.B) { benchLinearAcked(b, 2) }
 func BenchmarkEngineLinearAckedW4(b *testing.B) { benchLinearAcked(b, 4) }
 
+// BenchmarkEngineLinearAckedObservedW4 is the headline row with the
+// observability layer on: tuple tracing sampled at 1% (the documented
+// operator default) on a cluster that also carries an event sink. The
+// delta against BenchmarkEngineLinearAckedW4 is the observability
+// overhead, budgeted at ≤2%.
+func BenchmarkEngineLinearAckedObservedW4(b *testing.B) {
+	var done atomic.Int64
+	var seen atomic.Int64
+	spout := &benchSpout{limit: b.N, anchored: true, done: &done}
+	tb := dsps.NewTopologyBuilder("bench-linear-obs")
+	tb.SetSpout("src", func() dsps.Spout { return spout }, 1, "v")
+	tb.SetBolt("relay", func() dsps.Bolt { return &benchRelay{} }, 2, "v").ShuffleGrouping("src")
+	tb.SetBolt("sink", func() dsps.Bolt { return &benchSink{seen: &seen} }, 2).ShuffleGrouping("relay")
+	topo, err := tb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := dsps.NewCluster(dsps.ClusterConfig{
+		Nodes:           2,
+		CoresPerNode:    4,
+		QueueSize:       1024,
+		MaxSpoutPending: 4096,
+		AckTimeout:      time.Minute,
+		Delayer:         dsps.NopDelayer{},
+		Seed:            1,
+		TraceSampleRate: 0.01,
+		Events:          nopEvents{},
+	})
+	runEngineBench(b, c, topo, 4, &done, int64(b.N))
+}
+
+// nopEvents is a do-nothing EventSink so the benchmark exercises the
+// emit paths without measuring a sink implementation.
+type nopEvents struct{}
+
+func (nopEvents) Event(int, string, ...string) {}
+
 // BenchmarkEngineLinearUnanchored is the same shape with reliability
 // tracking off: the acked-vs-unanchored delta is the acker's cost.
 func BenchmarkEngineLinearUnanchored(b *testing.B) {

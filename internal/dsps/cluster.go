@@ -2,6 +2,7 @@ package dsps
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +42,17 @@ type ClusterConfig struct {
 	// under Drain's 20ms settle window so quiescence detection stays
 	// sound.
 	FlushInterval time.Duration
+	// TraceSampleRate enables sampled per-tuple path tracing: the fraction
+	// of anchored roots (by deterministic splitmix64 hash of the rootID)
+	// whose spout→bolt span chains are recorded. 0 (the default) disables
+	// tracing entirely — the hot path then pays only a nil check.
+	TraceSampleRate float64
+	// TraceBufferSize is the trace ring capacity in spans; default 4096
+	// when tracing is enabled.
+	TraceBufferSize int
+	// Events receives structured control-plane events (submits,
+	// rebalances, fault injections); nil disables event emission.
+	Events EventSink
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -126,6 +138,8 @@ type Cluster struct {
 	cfg    ClusterConfig
 	nodes  []*node
 	faults *faultRegistry
+	trace  *Trace
+	events EventSink
 
 	mu         sync.Mutex
 	tops       []*runningTopology
@@ -136,7 +150,10 @@ type Cluster struct {
 // NewCluster builds a cluster with the given configuration.
 func NewCluster(cfg ClusterConfig) *Cluster {
 	cfg = cfg.withDefaults()
-	c := &Cluster{cfg: cfg, faults: newFaultRegistry()}
+	c := &Cluster{cfg: cfg, faults: newFaultRegistry(), events: cfg.Events}
+	if cfg.TraceSampleRate > 0 {
+		c.trace = newTrace(cfg.TraceSampleRate, cfg.TraceBufferSize)
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		c.nodes = append(c.nodes, &node{
 			id:    fmt.Sprintf("node-%d", i),
@@ -144,6 +161,18 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		})
 	}
 	return c
+}
+
+// Trace returns the cluster's sampled-tuple trace ring, or nil when
+// ClusterConfig.TraceSampleRate is zero.
+func (c *Cluster) Trace() *Trace { return c.trace }
+
+// emit forwards one structured event to the configured sink, if any.
+// Never called with cluster locks held.
+func (c *Cluster) emit(level int, msg string, kv ...string) {
+	if c.events != nil {
+		c.events.Event(level, msg, kv...)
+	}
 }
 
 // Config returns the effective (defaulted) cluster configuration.
@@ -161,11 +190,24 @@ func (c *Cluster) NodeIDs() []string {
 // Submit schedules and starts a topology alongside any already running.
 // Topology names must be unique among running topologies.
 func (c *Cluster) Submit(t *Topology, sc SubmitConfig) error {
+	workers, err := c.submitLocked(t, sc)
+	if err != nil {
+		return err
+	}
+	c.emit(EventInfo, "topology submitted",
+		"topology", t.Name, "workers", strconv.Itoa(workers))
+	return nil
+}
+
+// submitLocked does the schedule-and-start under the cluster lock and
+// returns the effective worker count, so Submit can emit its event with
+// the lock released.
+func (c *Cluster) submitLocked(t *Topology, sc SubmitConfig) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, rt := range c.tops {
 		if rt.topo.Name == t.Name {
-			return fmt.Errorf("dsps: topology %q already running", t.Name)
+			return 0, fmt.Errorf("dsps: topology %q already running", t.Name)
 		}
 	}
 	if sc.Workers <= 0 {
@@ -174,15 +216,15 @@ func (c *Cluster) Submit(t *Topology, sc SubmitConfig) error {
 	switch sc.Strategy {
 	case "", PlaceRoundRobin, PlaceBlocked:
 	default:
-		return fmt.Errorf("dsps: unknown placement strategy %q", sc.Strategy)
+		return 0, fmt.Errorf("dsps: unknown placement strategy %q", sc.Strategy)
 	}
 	rt, err := c.buildRuntime(t, sc)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	c.tops = append(c.tops, rt)
 	rt.start()
-	return nil
+	return sc.Workers, nil
 }
 
 // Topologies returns the names of running topologies in submit order.
@@ -238,11 +280,23 @@ func (c *Cluster) InjectFault(workerID string, f Fault) error {
 	if !c.workerExists(workerID) {
 		return fmt.Errorf("dsps: unknown worker %q", workerID)
 	}
-	return c.faults.set(workerID, f)
+	if err := c.faults.set(workerID, f); err != nil {
+		return err
+	}
+	c.emit(EventWarn, "fault injected",
+		"worker", workerID,
+		"slowdown", strconv.FormatFloat(f.Slowdown, 'g', -1, 64),
+		"drop_prob", strconv.FormatFloat(f.DropProb, 'g', -1, 64),
+		"fail_prob", strconv.FormatFloat(f.FailProb, 'g', -1, 64),
+		"stall", strconv.FormatBool(f.Stall))
+	return nil
 }
 
 // ClearFault removes any fault on a worker.
-func (c *Cluster) ClearFault(workerID string) { c.faults.clear(workerID) }
+func (c *Cluster) ClearFault(workerID string) {
+	c.faults.clear(workerID)
+	c.emit(EventInfo, "fault cleared", "worker", workerID)
+}
 
 func (c *Cluster) workerExists(workerID string) bool {
 	for _, rt := range c.snapshotTops() {
@@ -337,6 +391,7 @@ func (c *Cluster) ShutdownTopology(name string) error {
 		return fmt.Errorf("dsps: topology %q not running", name)
 	}
 	victim.stop()
+	c.emit(EventInfo, "topology shutdown", "topology", name)
 	return nil
 }
 
@@ -370,7 +425,12 @@ func (c *Cluster) Rebalance(name string, sc SubmitConfig, drainTimeout time.Dura
 	if err := c.ShutdownTopology(name); err != nil {
 		return err
 	}
-	return c.Submit(victim.topo, sc)
+	if err := c.Submit(victim.topo, sc); err != nil {
+		return err
+	}
+	c.emit(EventInfo, "topology rebalanced",
+		"topology", name, "strategy", string(sc.Strategy))
+	return nil
 }
 
 // Shutdown stops every running topology, waiting for executors to exit.
@@ -409,6 +469,7 @@ func (c *Cluster) Snapshot() *Snapshot {
 				TaskIndex:       t.index,
 				WorkerID:        t.worker.id,
 				NodeID:          t.worker.node.id,
+				IsSpout:         t.spout != nil,
 				Executed:        t.counters.executed.Load(),
 				Emitted:         t.counters.emitted.Load(),
 				Acked:           t.counters.acked.Load(),
@@ -419,6 +480,9 @@ func (c *Cluster) Snapshot() *Snapshot {
 				CompleteLatency: time.Duration(t.counters.completeNs.Load()),
 				ExecHist:        t.counters.execHist.snapshot(),
 				CompleteHist:    t.counters.completeHist.snapshot(),
+
+				Batches:           t.counters.batches.Load(),
+				BackpressureWaits: t.counters.bpWaits.Load(),
 			}
 			if t.inCh != nil {
 				// queued is reservation-accurate: 0 ≤ queued ≤ QueueSize.
@@ -432,6 +496,16 @@ func (c *Cluster) Snapshot() *Snapshot {
 			ws.ExecLatency += ts.ExecLatency
 			ws.QueueLen += ts.QueueLen
 		}
+		pending := rt.acker.shardPending()
+		inflight := 0
+		for _, p := range pending {
+			inflight += p
+		}
+		snap.Acker = append(snap.Acker, AckerStats{
+			Topology:     rt.topo.Name,
+			InFlight:     inflight,
+			ShardPending: pending,
+		})
 	}
 	for _, id := range workerOrder {
 		snap.Workers = append(snap.Workers, *perWorker[id])

@@ -1,0 +1,32 @@
+package dsps
+
+// Structured control-plane events. The engine reports notable control
+// actions (topology submit/shutdown/rebalance, fault injection, dynamic
+// ratio changes) to an EventSink supplied via ClusterConfig.Events. The
+// interface lives here — not in internal/obs — so the engine never
+// imports its observers; obs.Logger satisfies it structurally.
+//
+// Events are emitted only from control-plane paths, never from per-tuple
+// hot paths, and always outside the cluster's locks, so a slow sink can
+// delay control actions but can never deadlock or stall the data plane.
+
+// Event severity levels, ordered: a sink may drop records below its
+// configured threshold.
+const (
+	// EventDebug marks high-volume diagnostic records.
+	EventDebug = 0
+	// EventInfo marks routine control actions (submit, ratio change).
+	EventInfo = 1
+	// EventWarn marks degraded-but-handled conditions (fault injected).
+	EventWarn = 2
+	// EventError marks failed control actions.
+	EventError = 3
+)
+
+// EventSink receives structured control-plane events. Attributes arrive
+// as an ordered, flat key/value string list (kv[0] is a key, kv[1] its
+// value, and so on) so emission order is deterministic and sinks need no
+// map handling. Implementations must be safe for concurrent use.
+type EventSink interface {
+	Event(level int, msg string, kv ...string)
+}

@@ -86,3 +86,24 @@ func ExampleDynamicGrouping() {
 	// before update: 6/2
 	// after update:  0/8
 }
+
+// ExampleDynamicGrouping_SetOnChange observes ratio changes as they are
+// applied — the hook the observability event log uses to record every
+// plan the controller installs.
+func ExampleDynamicGrouping_SetOnChange() {
+	g := &dsps.DynamicGrouping{}
+	g.SetOnChange(func(ratios []float64) {
+		fmt.Printf("ratios now %v\n", ratios)
+	})
+	if err := g.SetRatios([]float64{0.75, 0.25}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := g.SetRatios([]float64{0, 1}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Output:
+	// ratios now [0.75 0.25]
+	// ratios now [0 1]
+}

@@ -90,8 +90,9 @@ type runningTopology struct {
 
 	clock    coarseClock
 	fl       *freeLists
-	effBatch int   // envelopes per batch, min(BatchSize, QueueSize)
-	flushNs  int64 // FlushInterval in nanoseconds
+	trace    *Trace // sampled-tuple trace ring; nil = tracing disabled
+	effBatch int    // envelopes per batch, min(BatchSize, QueueSize)
+	flushNs  int64  // FlushInterval in nanoseconds
 
 	ctx          context.Context
 	cancel       context.CancelFunc
@@ -110,6 +111,7 @@ func (c *Cluster) buildRuntime(t *Topology, sc SubmitConfig) (*runningTopology, 
 		taskByID: make(map[int]*task),
 		edges:    make(map[string][]*edge),
 		fl:       newFreeLists(),
+		trace:    c.trace,
 	}
 	rt.effBatch = c.cfg.BatchSize
 	if rt.effBatch > c.cfg.QueueSize {
@@ -511,11 +513,17 @@ func (rt *runningTopology) sendBatch(src *task, e *edge, target *task, envs []en
 	if dynamic {
 		retry = rerouteRetry
 	}
+	waited := false
 	for {
 		if target.reserve(n, bound) {
 			target.inCh <- envs
 			src.outPending.Add(-n)
+			src.counters.batches.Add(1)
 			return
+		}
+		if !waited {
+			waited = true
+			src.counters.bpWaits.Add(1)
 		}
 		select {
 		case <-target.space:
@@ -574,6 +582,23 @@ func (sc *spoutCollector) Emit(values Values, msgID any) {
 		tk.idScratch = ids
 		rt.acker.register(rootID, xor, msgID, tk.id)
 		tk.pending++
+		// Record the emit span before the first enqueue so a sampled
+		// root's emit always sequences ahead of its descendants' exec
+		// spans (enqueue may flush downstream immediately).
+		if rt.trace != nil && rt.trace.sampled(rootID) {
+			rt.trace.record(TraceSpan{
+				RootID:    rootID,
+				Kind:      SpanEmit,
+				Topology:  rt.topo.Name,
+				Component: tk.component,
+				TaskID:    tk.id,
+				TaskIndex: tk.index,
+				WorkerID:  tk.worker.id,
+				StartNs:   now,
+				EndNs:     now,
+				Fanout:    nsel,
+			})
+		}
 		for i := 0; i < nsel; i++ {
 			t := tpl
 			if i > 0 {
@@ -862,6 +887,22 @@ func (rt *runningTopology) processEnvelope(tk *task, collector *boltCollector, e
 	}
 	tk.counters.execNanos.Add(int64(elapsed))
 	tk.counters.execHist.observe(elapsed)
+
+	if rt.trace != nil && env.tuple.rootID != 0 && rt.trace.sampled(env.tuple.rootID) {
+		rt.trace.record(TraceSpan{
+			RootID:          env.tuple.rootID,
+			Kind:            SpanExec,
+			Topology:        rt.topo.Name,
+			Component:       tk.component,
+			TaskID:          tk.id,
+			TaskIndex:       tk.index,
+			WorkerID:        tk.worker.id,
+			SourceComponent: env.tuple.SourceComponent,
+			StartNs:         startNs,
+			EndNs:           startNs + int64(elapsed),
+			QueueNs:         startNs - env.enqueuedNs,
+		})
+	}
 
 	if env.tuple.rootID != 0 {
 		if collector.failed {

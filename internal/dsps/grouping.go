@@ -180,10 +180,11 @@ func (AllGrouping) Select(_ *Tuple, numTasks int) []int {
 // exactly over any window of ~numTasks tuples — the property experiment E5
 // validates.
 type DynamicGrouping struct {
-	mu      sync.Mutex
-	ratios  []float64 // normalized; nil until first SetRatios or Select
-	current []float64 // smooth-WRR running credit
-	updates int
+	mu       sync.Mutex
+	ratios   []float64 // normalized; nil until first SetRatios or Select
+	current  []float64 // smooth-WRR running credit
+	updates  int
+	onChange func(ratios []float64)
 }
 
 // Name implements Grouping.
@@ -217,8 +218,26 @@ func (g *DynamicGrouping) SetRatios(ratios []float64) error {
 	g.ratios = norm
 	g.current = make([]float64, len(norm))
 	g.updates++
+	fn := g.onChange
 	g.mu.Unlock()
+	if fn != nil {
+		cp := make([]float64, len(norm))
+		copy(cp, norm)
+		fn(cp)
+	}
 	return nil
+}
+
+// SetOnChange registers a callback invoked after every successful
+// SetRatios with a copy of the new normalized ratios. The callback runs
+// on the SetRatios caller's goroutine with the grouping's lock released,
+// so it may itself inspect the grouping but must not call SetRatios
+// re-entrantly without accepting recursion. Pass nil to unregister.
+// Observability layers use it to log ratio changes without polling.
+func (g *DynamicGrouping) SetOnChange(fn func(ratios []float64)) {
+	g.mu.Lock()
+	g.onChange = fn
+	g.mu.Unlock()
 }
 
 // Ratios returns the current normalized split ratios (nil if unset).

@@ -84,6 +84,20 @@ func HistogramQuantile(counts []int64, q float64) time.Duration {
 	return hi
 }
 
+// HistogramBucketBounds returns the finite upper bounds of the engine's
+// latency-histogram buckets: entry i is the exclusive upper bound of
+// bucket i for i in [0, histBuckets-2]. The final bucket absorbs overflow
+// and has no finite bound (+Inf in Prometheus terms), so the returned
+// slice has one fewer entry than the histograms have buckets.
+func HistogramBucketBounds() []time.Duration {
+	out := make([]time.Duration, histBuckets-1)
+	for i := range out {
+		_, hi := bucketBounds(i)
+		out[i] = hi
+	}
+	return out
+}
+
 // bucketBounds returns the [lo, hi) range of bucket i, matching observe's
 // indexing.
 func bucketBounds(i int) (lo, hi time.Duration) {

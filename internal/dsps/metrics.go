@@ -16,6 +16,8 @@ type taskCounters struct {
 	queueNanos atomic.Int64 // total time tuples spent queued before execute
 	completeNs atomic.Int64 // total complete latency of acked roots (spouts)
 	dropped    atomic.Int64 // tuples dropped by fault injection
+	batches    atomic.Int64 // data-plane batches sent downstream
+	bpWaits    atomic.Int64 // batches that blocked at least once on backpressure
 
 	execHist     latencyHist // per-tuple execute latency distribution
 	completeHist latencyHist // complete latency distribution (spouts)
@@ -31,6 +33,8 @@ type TaskStats struct {
 	TaskIndex int
 	WorkerID  string
 	NodeID    string
+	// IsSpout reports whether the task runs a spout (vs. a bolt).
+	IsSpout bool
 
 	Executed int64
 	Emitted  int64
@@ -46,6 +50,11 @@ type TaskStats struct {
 	CompleteLatency time.Duration
 	// QueueLen is the instantaneous input queue length.
 	QueueLen int
+	// Batches counts data-plane envelope batches this task sent downstream.
+	Batches int64
+	// BackpressureWaits counts batches that blocked at least once on a full
+	// downstream queue before being delivered.
+	BackpressureWaits int64
 	// ExecHist and CompleteHist are the latency distributions in the
 	// engine's log-bucket layout (see HistogramQuantile / MergeHistograms).
 	ExecHist     []int64
@@ -114,12 +123,25 @@ type NodeStats struct {
 	Busy int
 }
 
+// AckerStats is a point-in-time view of one topology's sharded acker.
+type AckerStats struct {
+	// Topology names the owning topology.
+	Topology string
+	// InFlight is the number of tracked, incomplete spout roots.
+	InFlight int
+	// ShardPending holds the pending-root count of each lock shard, in
+	// shard order; skew across shards indicates rootID hashing imbalance.
+	ShardPending []int
+}
+
 // Snapshot is a full-cluster metrics snapshot.
 type Snapshot struct {
 	At      time.Time
 	Tasks   []TaskStats
 	Workers []WorkerStats
 	Nodes   []NodeStats
+	// Acker holds one entry per running topology, in submit order.
+	Acker []AckerStats
 }
 
 // TaskByID returns the stats of one task, or a zero value and false.

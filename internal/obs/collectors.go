@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+	"strconv"
+
+	"predstream/internal/chaos"
+	"predstream/internal/core"
+	"predstream/internal/dsps"
+	"predstream/internal/telemetry"
+)
+
+// Collectors bridging the repo's subsystems into the registry. All of
+// them work from point-in-time snapshots taken at scrape time — no
+// collector adds locking or allocation to any engine hot path, and every
+// collector emits its samples in a deterministic order (snapshot order,
+// or sorted keys where the source is a map).
+
+// taskLabels renders the identity labels shared by per-task series.
+func taskLabels(t dsps.TaskStats) []Label {
+	return []Label{
+		{Name: "topology", Value: t.Topology},
+		{Name: "component", Value: t.Component},
+		{Name: "task", Value: strconv.Itoa(t.TaskID)},
+		{Name: "worker", Value: t.WorkerID},
+	}
+}
+
+// histBoundsSeconds caches the engine's latency-histogram bucket bounds
+// converted to seconds, the unit Prometheus latency histograms use.
+var histBoundsSeconds = func() []float64 {
+	bounds := dsps.HistogramBucketBounds()
+	out := make([]float64, len(bounds))
+	for i, b := range bounds {
+		out[i] = b.Seconds()
+	}
+	return out
+}()
+
+// latencyHistData converts an engine histogram snapshot plus its
+// cumulative-duration sum into a HistogramData.
+func latencyHistData(counts []int64, sumSeconds float64) *HistogramData {
+	h := &HistogramData{
+		Bounds: histBoundsSeconds,
+		Counts: make([]uint64, len(histBoundsSeconds)+1),
+		Sum:    sumSeconds,
+	}
+	for i, c := range counts {
+		if i < len(h.Counts) && c > 0 {
+			h.Counts[i] = uint64(c)
+		}
+	}
+	return h
+}
+
+// NewClusterCollector returns a Collector exposing the engine's task,
+// worker, node, acker, and trace statistics from Cluster.Snapshot. See
+// docs/OBSERVABILITY.md for the full metric catalog.
+func NewClusterCollector(c *dsps.Cluster) Collector {
+	return CollectorFunc(func() []Family {
+		snap := c.Snapshot()
+
+		counter := func(name, help string) Family {
+			return Family{Name: name, Help: help, Type: TypeCounter}
+		}
+		gauge := func(name, help string) Family {
+			return Family{Name: name, Help: help, Type: TypeGauge}
+		}
+		executed := counter("predstream_task_executed_total", "Tuples fully executed by the task.")
+		emitted := counter("predstream_task_emitted_total", "Tuples emitted downstream by the task.")
+		acked := counter("predstream_task_acked_total", "Spout roots completed successfully (spout tasks).")
+		failed := counter("predstream_task_failed_total", "Spout roots failed or timed out (spout tasks).")
+		dropped := counter("predstream_task_dropped_total", "Tuples dropped by fault injection at the task.")
+		batches := counter("predstream_task_batches_total", "Data-plane envelope batches the task sent downstream.")
+		bpWaits := counter("predstream_task_backpressure_waits_total", "Batches that blocked at least once on a full downstream queue.")
+		queueLen := gauge("predstream_task_queue_length", "Instantaneous input queue length (reservation-accurate tuples).")
+		execHist := Family{Name: "predstream_task_exec_latency_seconds", Help: "Per-tuple execute latency distribution.", Type: TypeHistogram}
+		completeHist := Family{Name: "predstream_spout_complete_latency_seconds", Help: "Complete latency distribution of acked roots (spout tasks).", Type: TypeHistogram}
+
+		for _, t := range snap.Tasks {
+			ls := taskLabels(t)
+			executed.Samples = append(executed.Samples, Sample{Labels: ls, Value: float64(t.Executed)})
+			emitted.Samples = append(emitted.Samples, Sample{Labels: ls, Value: float64(t.Emitted)})
+			dropped.Samples = append(dropped.Samples, Sample{Labels: ls, Value: float64(t.Dropped)})
+			batches.Samples = append(batches.Samples, Sample{Labels: ls, Value: float64(t.Batches)})
+			bpWaits.Samples = append(bpWaits.Samples, Sample{Labels: ls, Value: float64(t.BackpressureWaits)})
+			if t.IsSpout {
+				acked.Samples = append(acked.Samples, Sample{Labels: ls, Value: float64(t.Acked)})
+				failed.Samples = append(failed.Samples, Sample{Labels: ls, Value: float64(t.Failed)})
+				completeHist.Samples = append(completeHist.Samples, Sample{
+					Labels: ls,
+					Hist:   latencyHistData(t.CompleteHist, t.CompleteLatency.Seconds()),
+				})
+			} else {
+				queueLen.Samples = append(queueLen.Samples, Sample{Labels: ls, Value: float64(t.QueueLen)})
+				execHist.Samples = append(execHist.Samples, Sample{
+					Labels: ls,
+					Hist:   latencyHistData(t.ExecHist, t.ExecLatency.Seconds()),
+				})
+			}
+		}
+
+		slowdown := gauge("predstream_worker_slowdown", "Currently injected fault slowdown factor (1 = healthy).")
+		misbehaving := gauge("predstream_worker_misbehaving", "1 while any fault is injected on the worker.")
+		for _, w := range snap.Workers {
+			ls := []Label{{Name: "worker", Value: w.WorkerID}, {Name: "node", Value: w.NodeID}}
+			slowdown.Samples = append(slowdown.Samples, Sample{Labels: ls, Value: w.Slowdown})
+			mis := 0.0
+			if w.Misbehaving {
+				mis = 1
+			}
+			misbehaving.Samples = append(misbehaving.Samples, Sample{Labels: ls, Value: mis})
+		}
+
+		nodeBusy := gauge("predstream_node_busy", "Executors currently mid-execute on the node.")
+		nodeCores := gauge("predstream_node_cores", "Simulated core capacity of the node.")
+		nodeExecuted := counter("predstream_node_executed_total", "Tuples executed on the node.")
+		for _, n := range snap.Nodes {
+			ls := []Label{{Name: "node", Value: n.NodeID}}
+			nodeBusy.Samples = append(nodeBusy.Samples, Sample{Labels: ls, Value: float64(n.Busy)})
+			nodeCores.Samples = append(nodeCores.Samples, Sample{Labels: ls, Value: float64(n.Cores)})
+			nodeExecuted.Samples = append(nodeExecuted.Samples, Sample{Labels: ls, Value: float64(n.Executed)})
+		}
+
+		ackerInFlight := gauge("predstream_acker_in_flight", "Tracked, incomplete spout roots per topology.")
+		shardPending := gauge("predstream_acker_shard_pending", "Pending roots per acker lock shard.")
+		for _, a := range snap.Acker {
+			ackerInFlight.Samples = append(ackerInFlight.Samples, Sample{
+				Labels: []Label{{Name: "topology", Value: a.Topology}},
+				Value:  float64(a.InFlight),
+			})
+			for i, p := range a.ShardPending {
+				shardPending.Samples = append(shardPending.Samples, Sample{
+					Labels: []Label{
+						{Name: "topology", Value: a.Topology},
+						{Name: "shard", Value: strconv.Itoa(i)},
+					},
+					Value: float64(p),
+				})
+			}
+		}
+
+		fams := []Family{
+			executed, emitted, acked, failed, dropped, batches, bpWaits,
+			queueLen, execHist, completeHist,
+			slowdown, misbehaving,
+			nodeBusy, nodeCores, nodeExecuted,
+			ackerInFlight, shardPending,
+		}
+		if tr := c.Trace(); tr != nil {
+			fams = append(fams,
+				Family{Name: "predstream_trace_spans_recorded_total", Help: "Trace spans appended to the ring since the last reset.",
+					Type: TypeCounter, Samples: []Sample{{Value: float64(tr.Recorded())}}},
+				Family{Name: "predstream_trace_spans_dropped_total", Help: "Trace spans overwritten by ring wraparound.",
+					Type: TypeCounter, Samples: []Sample{{Value: float64(tr.Dropped())}}},
+				Family{Name: "predstream_trace_buffered_spans", Help: "Trace spans currently buffered in the ring.",
+					Type: TypeGauge, Samples: []Sample{{Value: float64(tr.Len())}}},
+			)
+		}
+		return fams
+	})
+}
+
+// NewControllerCollector returns a Collector exposing the predictive
+// control loop's latest step: per-worker predicted/observed/basis values,
+// detector verdicts, and the ratios applied to each controlled component.
+func NewControllerCollector(ctrl *core.Controller) Collector {
+	return CollectorFunc(func() []Family {
+		history := ctrl.History()
+		steps := Family{Name: "predstream_controller_steps_total", Help: "Control steps executed.",
+			Type: TypeCounter, Samples: []Sample{{Value: float64(len(history))}}}
+		if len(history) == 0 {
+			return []Family{steps}
+		}
+		last := history[len(history)-1]
+
+		usedModel := 0.0
+		if last.UsedModel {
+			usedModel = 1
+		}
+		model := Family{Name: "predstream_controller_used_model", Help: "1 when the last step used fitted predictors (vs. reactive fallback).",
+			Type: TypeGauge, Samples: []Sample{{Value: usedModel}}}
+
+		predicted := Family{Name: "predstream_controller_predicted", Help: "Per-worker forecast of the control metric at the last step.", Type: TypeGauge}
+		observed := Family{Name: "predstream_controller_observed", Help: "Per-worker last-window observation of the control metric.", Type: TypeGauge}
+		basis := Family{Name: "predstream_controller_basis", Help: "Per-worker value detection and planning used at the last step.", Type: TypeGauge}
+		verdict := Family{Name: "predstream_controller_misbehaving", Help: "Detector verdict per worker at the last step (1 = misbehaving).", Type: TypeGauge}
+		workers := make([]string, 0, len(last.Observed))
+		for id := range last.Observed {
+			workers = append(workers, id)
+		}
+		sort.Strings(workers)
+		for _, id := range workers {
+			ls := []Label{{Name: "worker", Value: id}}
+			predicted.Samples = append(predicted.Samples, Sample{Labels: ls, Value: last.Predicted[id]})
+			observed.Samples = append(observed.Samples, Sample{Labels: ls, Value: last.Observed[id]})
+			basis.Samples = append(basis.Samples, Sample{Labels: ls, Value: last.Basis[id]})
+			v := 0.0
+			if last.Misbehaving[id] {
+				v = 1
+			}
+			verdict.Samples = append(verdict.Samples, Sample{Labels: ls, Value: v})
+		}
+
+		ratio := Family{Name: "predstream_controller_ratio", Help: "Split ratio applied per controlled component and task index.", Type: TypeGauge}
+		components := make([]string, 0, len(last.Applied))
+		for comp := range last.Applied {
+			components = append(components, comp)
+		}
+		sort.Strings(components)
+		for _, comp := range components {
+			for i, r := range last.Applied[comp] {
+				ratio.Samples = append(ratio.Samples, Sample{
+					Labels: []Label{
+						{Name: "component", Value: comp},
+						{Name: "task_index", Value: strconv.Itoa(i)},
+					},
+					Value: r,
+				})
+			}
+		}
+		return []Family{steps, model, predicted, observed, basis, verdict, ratio}
+	})
+}
+
+// NewChaosCollector returns a Collector exposing a chaos run's live
+// counters (pass the same *chaos.Metrics to chaos.Options.Metrics).
+func NewChaosCollector(m *chaos.Metrics) Collector {
+	return CollectorFunc(func() []Family {
+		c := func(name, help string, v int64) Family {
+			return Family{Name: name, Help: help, Type: TypeCounter, Samples: []Sample{{Value: float64(v)}}}
+		}
+		return []Family{
+			c("predstream_chaos_runs_total", "Chaos runs started.", m.Runs.Load()),
+			c("predstream_chaos_events_fired_total", "Chaos script events applied.", m.EventsFired.Load()),
+			c("predstream_chaos_events_skipped_total", "Chaos script events rejected (legitimate under churn).", m.EventsSkipped.Load()),
+			c("predstream_chaos_checks_total", "Invariant sweeps executed.", m.Checks.Load()),
+			{Name: "predstream_chaos_violations", Help: "Invariant violations in the current/last run.",
+				Type: TypeGauge, Samples: []Sample{{Value: float64(m.Violations.Load())}}},
+		}
+	})
+}
+
+// NewSamplerCollector returns a Collector exposing the latest multilevel
+// telemetry window per worker — the same features the DRNN consumes,
+// readable by an operator.
+func NewSamplerCollector(s *telemetry.Sampler) Collector {
+	return CollectorFunc(func() []Family {
+		execRate := Family{Name: "predstream_window_exec_rate", Help: "Tuples executed per second in the worker's last telemetry window.", Type: TypeGauge}
+		avgExec := Family{Name: "predstream_window_avg_exec_ms", Help: "Mean per-tuple processing time (ms) in the last window.", Type: TypeGauge}
+		avgQueue := Family{Name: "predstream_window_avg_queue_ms", Help: "Mean queueing delay (ms) in the last window.", Type: TypeGauge}
+		queueLen := Family{Name: "predstream_window_queue_length", Help: "Input queue backlog at the last window end.", Type: TypeGauge}
+		for _, id := range s.Workers() {
+			wins := s.Series(id)
+			if len(wins) == 0 {
+				continue
+			}
+			last := wins[len(wins)-1]
+			ls := []Label{{Name: "worker", Value: id}}
+			execRate.Samples = append(execRate.Samples, Sample{Labels: ls, Value: last.ExecRate})
+			avgExec.Samples = append(avgExec.Samples, Sample{Labels: ls, Value: last.AvgExecMs})
+			avgQueue.Samples = append(avgQueue.Samples, Sample{Labels: ls, Value: last.AvgQueueMs})
+			queueLen.Samples = append(queueLen.Samples, Sample{Labels: ls, Value: last.QueueLen})
+		}
+		return []Family{execRate, avgExec, avgQueue, queueLen}
+	})
+}
+
+// NewRuntimeCollector returns a Collector exposing Go runtime health:
+// goroutine count, heap in use, and completed GC cycles.
+func NewRuntimeCollector() Collector {
+	return CollectorFunc(func() []Family {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return []Family{
+			{Name: "go_goroutines", Help: "Currently live goroutines.",
+				Type: TypeGauge, Samples: []Sample{{Value: float64(runtime.NumGoroutine())}}},
+			{Name: "go_memstats_heap_alloc_bytes", Help: "Heap bytes allocated and in use.",
+				Type: TypeGauge, Samples: []Sample{{Value: float64(ms.HeapAlloc)}}},
+			{Name: "go_memstats_total_alloc_bytes_total", Help: "Cumulative heap bytes allocated.",
+				Type: TypeCounter, Samples: []Sample{{Value: float64(ms.TotalAlloc)}}},
+			{Name: "go_gc_cycles_total", Help: "Completed GC cycles.",
+				Type: TypeCounter, Samples: []Sample{{Value: float64(ms.NumGC)}}},
+		}
+	})
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) encoding of a Registry's
+// families: the format `curl :9090/metrics` returns and any Prometheus
+// scraper ingests.
+
+// WritePrometheus gathers the registry and writes every family in
+// Prometheus text format. Families are sorted by name; within a family,
+// samples keep collector order. Invalid metric or label names abort with
+// an error rather than emitting an unscrapable page.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.Gather() {
+		if err := writeFamily(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFamily(w io.Writer, f Family) error {
+	if !validMetricName(f.Name) {
+		return fmt.Errorf("obs: invalid metric name %q", f.Name)
+	}
+	if f.Help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+			return err
+		}
+	}
+	typ := f.Type
+	if typ == "" {
+		typ = TypeGauge
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, typ); err != nil {
+		return err
+	}
+	for _, s := range f.Samples {
+		if err := writeSample(w, f.Name, typ, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, name string, typ MetricType, s Sample) error {
+	for _, l := range s.Labels {
+		if !validLabelName(l.Name) {
+			return fmt.Errorf("obs: invalid label name %q on %s", l.Name, name)
+		}
+	}
+	if typ == TypeHistogram {
+		if s.Hist == nil {
+			return fmt.Errorf("obs: histogram sample of %s has no histogram data", name)
+		}
+		return writeHistogram(w, name, s)
+	}
+	_, err := fmt.Fprintf(w, "%s%s %s\n", name, renderLabels(s.Labels, "", 0), formatValue(s.Value))
+	return err
+}
+
+// writeHistogram renders the cumulative _bucket series (one per finite
+// bound plus le="+Inf"), then _sum and _count.
+func writeHistogram(w io.Writer, name string, s Sample) error {
+	h := s.Hist
+	if len(h.Counts) != len(h.Bounds)+1 {
+		return fmt.Errorf("obs: histogram %s has %d counts for %d bounds (want bounds+1)",
+			name, len(h.Counts), len(h.Bounds))
+	}
+	var cum uint64
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, renderLabels(s.Labels, "le", bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.Counts[len(h.Counts)-1]
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		name, renderLabels(s.Labels, "le", math.Inf(1)), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		name, renderLabels(s.Labels, "", 0), formatValue(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(s.Labels, "", 0), cum)
+	return err
+}
+
+// renderLabels renders `{k="v",...}` (empty string for no labels),
+// appending an le label when leName is non-empty.
+func renderLabels(labels []Label, leName string, le float64) string {
+	if len(labels) == 0 && leName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	if leName != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leName)
+		b.WriteString(`="`)
+		b.WriteString(formatValue(le))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a float the way Prometheus expects, including the
+// +Inf/-Inf/NaN spellings.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes backslashes, quotes, and newlines in a label
+// value.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s matches [a-zA-Z_][a-zA-Z0-9_]* and is
+// not reserved (double-underscore prefix).
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

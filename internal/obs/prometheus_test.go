@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact text exposition: escaping,
+// label rendering, value spellings, and cumulative histogram encoding.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Register(CollectorFunc(func() []Family {
+		return []Family{
+			{
+				Name: "test_requests_total", Help: "Total requests.", Type: TypeCounter,
+				Samples: []Sample{
+					{Value: 42},
+					{Labels: []Label{{Name: "code", Value: "200"}}, Value: 7},
+				},
+			},
+			{
+				Name: "test_temp", Help: "Line one\nwith \\ backslash.", Type: TypeGauge,
+				Samples: []Sample{
+					{Labels: []Label{{Name: "sensor", Value: `a"b\c` + "\n"}}, Value: 21.5},
+					{Labels: []Label{{Name: "sensor", Value: "inf"}}, Value: math.Inf(1)},
+					{Labels: []Label{{Name: "sensor", Value: "nan"}}, Value: math.NaN()},
+				},
+			},
+			{
+				Name: "test_latency_seconds", Help: "Observed latency.", Type: TypeHistogram,
+				Samples: []Sample{{
+					Labels: []Label{{Name: "stage", Value: "parse"}},
+					Hist:   &HistogramData{Bounds: []float64{0.1, 1}, Counts: []uint64{1, 2, 3}, Sum: 4.5},
+				}},
+			},
+		}
+	}))
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# HELP test_latency_seconds Observed latency.`,
+		`# TYPE test_latency_seconds histogram`,
+		`test_latency_seconds_bucket{stage="parse",le="0.1"} 1`,
+		`test_latency_seconds_bucket{stage="parse",le="1"} 3`,
+		`test_latency_seconds_bucket{stage="parse",le="+Inf"} 6`,
+		`test_latency_seconds_sum{stage="parse"} 4.5`,
+		`test_latency_seconds_count{stage="parse"} 6`,
+		`# HELP test_requests_total Total requests.`,
+		`# TYPE test_requests_total counter`,
+		`test_requests_total 42`,
+		`test_requests_total{code="200"} 7`,
+		`# HELP test_temp Line one\nwith \\ backslash.`,
+		`# TYPE test_temp gauge`,
+		`test_temp{sensor="a\"b\\c\n"} 21.5`,
+		`test_temp{sensor="inf"} +Inf`,
+		`test_temp{sensor="nan"} NaN`,
+		``,
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusRejectsInvalidNames(t *testing.T) {
+	cases := []Family{
+		{Name: "1starts_with_digit", Samples: []Sample{{Value: 1}}},
+		{Name: "has space", Samples: []Sample{{Value: 1}}},
+		{Name: "", Samples: []Sample{{Value: 1}}},
+		{Name: "ok_name", Samples: []Sample{{Labels: []Label{{Name: "__reserved", Value: "x"}}, Value: 1}}},
+		{Name: "ok_name", Samples: []Sample{{Labels: []Label{{Name: "bad-dash", Value: "x"}}, Value: 1}}},
+		{Name: "ok_hist", Type: TypeHistogram, Samples: []Sample{{
+			Hist: &HistogramData{Bounds: []float64{1}, Counts: []uint64{1}}, // counts != bounds+1
+		}}},
+		{Name: "ok_hist2", Type: TypeHistogram, Samples: []Sample{{Value: 1}}}, // no Hist
+	}
+	for _, f := range cases {
+		fam := f
+		r := NewRegistry()
+		r.Register(CollectorFunc(func() []Family { return []Family{fam} }))
+		if err := r.WritePrometheus(&bytes.Buffer{}); err == nil {
+			t.Errorf("family %+v encoded without error", fam)
+		}
+	}
+}
+
+func TestWritePrometheusDefaultsTypeToGauge(t *testing.T) {
+	r := NewRegistry()
+	r.Register(CollectorFunc(func() []Family {
+		return []Family{{Name: "untyped", Samples: []Sample{{Value: 1}}}}
+	}))
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# TYPE untyped gauge") {
+		t.Fatalf("missing gauge default:\n%s", buf.String())
+	}
+	// No HELP line when Help is empty.
+	if strings.Contains(buf.String(), "# HELP") {
+		t.Fatalf("unexpected HELP line:\n%s", buf.String())
+	}
+}

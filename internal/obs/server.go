@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"predstream/internal/dsps"
+)
+
+// ServerConfig selects what the observability HTTP server exposes. Only
+// Registry is required; nil optional fields disable their endpoints with
+// a 404.
+type ServerConfig struct {
+	// Registry backs /metrics.
+	Registry *Registry
+	// Trace, when set, backs /trace.json and /trace/chrome.
+	Trace *dsps.Trace
+	// Events, when set, backs /events with the buffered records.
+	Events *MemorySink
+}
+
+// HTTPHandler builds the observability mux:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/healthz        liveness probe ("ok")
+//	/trace.json     sampled tuple trace, full-fidelity JSON
+//	/trace/chrome   the same trace as Chrome trace_event (about://tracing)
+//	/events         buffered structured events as JSON
+//	/debug/pprof/   Go runtime profiles (CPU, heap, goroutine, ...)
+func HTTPHandler(cfg ServerConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Registry == nil {
+			http.Error(w, "no metrics registry configured", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := cfg.Registry.WritePrometheus(w); err != nil {
+			// Headers are already gone; the truncated page plus the error
+			// line is the best available signal.
+			fmt.Fprintf(w, "# encoding error: %v\n", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Trace == nil {
+			http.Error(w, "tracing disabled (set TraceSampleRate)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		WriteTraceJSON(w, cfg.Trace.Spans())
+	})
+	mux.HandleFunc("/trace/chrome", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Trace == nil {
+			http.Error(w, "tracing disabled (set TraceSampleRate)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="predstream_trace.json"`)
+		WriteChromeTrace(w, cfg.Trace.Spans())
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Events == nil {
+			http.Error(w, "no event sink configured", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		records := cfg.Events.Records()
+		type rec struct {
+			TimeNs int64  `json:"time_ns"`
+			Level  string `json:"level"`
+			Msg    string `json:"msg"`
+			Attrs  []Attr `json:"attrs,omitempty"`
+		}
+		out := make([]rec, 0, len(records))
+		for _, r := range records {
+			out = append(out, rec{TimeNs: r.TimeNs, Level: r.Level.String(), Msg: r.Msg, Attrs: r.Attrs})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability HTTP server; create with NewServer,
+// stop with Close.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer listens on addr (e.g. ":9090"; ":0" picks a free port) and
+// serves the HTTPHandler mux in a background goroutine.
+func NewServer(addr string, cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: HTTPHandler(cfg), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"predstream/internal/dsps"
+)
+
+func TestHTTPHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	ctr := NewCounter("demo_total", "Demo.")
+	ctr.Add(3)
+	reg.Register(ctr)
+	sink := NewMemorySink(8)
+	NewLogger(sink, LevelDebug).WithClock(nil).Info("hello", String("k", "v"))
+	h := HTTPHandler(ServerConfig{Registry: reg, Events: sink})
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	rec := get("/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "demo_total 3") {
+		t.Fatalf("/metrics body:\n%s", rec.Body.String())
+	}
+
+	rec = get("/healthz")
+	if rec.Code != http.StatusOK || strings.TrimSpace(rec.Body.String()) != "ok" {
+		t.Fatalf("/healthz = %d %q", rec.Code, rec.Body.String())
+	}
+
+	// Tracing not configured: both trace endpoints 404.
+	if got := get("/trace.json").Code; got != http.StatusNotFound {
+		t.Fatalf("/trace.json without trace = %d", got)
+	}
+	if got := get("/trace/chrome").Code; got != http.StatusNotFound {
+		t.Fatalf("/trace/chrome without trace = %d", got)
+	}
+
+	rec = get("/events")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/events status %d", rec.Code)
+	}
+	var events []struct {
+		Level string `json:"level"`
+		Msg   string `json:"msg"`
+		Attrs []Attr `json:"attrs"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &events); err != nil {
+		t.Fatalf("/events not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(events) != 1 || events[0].Level != "INFO" || events[0].Msg != "hello" ||
+		events[0].Attrs[0] != (Attr{Key: "k", Value: "v"}) {
+		t.Fatalf("/events = %+v", events)
+	}
+
+	if got := get("/debug/pprof/").Code; got != http.StatusOK {
+		t.Fatalf("/debug/pprof/ = %d", got)
+	}
+}
+
+func TestHTTPHandlerNilConfig404s(t *testing.T) {
+	h := HTTPHandler(ServerConfig{})
+	for _, path := range []string{"/metrics", "/events", "/trace.json"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("%s with empty config = %d, want 404", path, rec.Code)
+		}
+	}
+}
+
+func TestServerServesOverTCP(t *testing.T) {
+	c, _ := buildObsCluster(t)
+	defer c.Shutdown()
+	reg := NewRegistry()
+	reg.Register(NewClusterCollector(c))
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{Registry: reg, Trace: c.Trace()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "predstream_task_executed_total") {
+		t.Fatalf("metrics over TCP: %d\n%s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get("http://" + srv.Addr() + "/trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var spans []json.RawMessage
+	if err := json.Unmarshal(body, &spans); err != nil || len(spans) == 0 {
+		t.Fatalf("trace over TCP: %v, %d spans", err, len(spans))
+	}
+
+	resp, err = http.Get("http://" + srv.Addr() + "/trace/chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"traceEvents"`) {
+		t.Fatalf("chrome trace over TCP:\n%s", body)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/healthz"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}
+
+// Compile-time check: *Logger satisfies the engine's EventSink contract.
+var _ dsps.EventSink = (*Logger)(nil)

@@ -1,5 +1,5 @@
 #!/usr/bin/env sh
-# CI gate: vet, gofmt, the dspslint invariant linter, build, full test
+# CI gate: vet, gofmt, the dspslint invariant linter, doccheck, build, full test
 # suite, the race detector over the packages with real concurrency
 # (training engine, stream engine, chaos harness), a one-iteration
 # benchmark smoke, a short chaos soak against the live engine, and a
@@ -25,6 +25,9 @@ echo "== dspslint (invariant linter) =="
 mkdir -p artifacts
 go run ./cmd/dspslint -json ./... > artifacts/dspslint.json || true
 make lint
+
+echo "== doccheck (markdown links + godoc audit) =="
+make doccheck
 
 echo "== go build =="
 go build ./...

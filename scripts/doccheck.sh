@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Documentation checks, wired into scripts/ci.sh:
+#   1. every relative link in every tracked markdown file resolves, and
+#   2. every exported symbol in the operator-facing packages carries a
+#      doc comment (scripts/doccheck, a go/ast walker).
+# Run from anywhere inside the repo; exits non-zero on any finding.
+set -euo pipefail
+cd "$(cd "$(dirname "$0")/.." && pwd)"
+
+fail=0
+
+echo "doccheck: markdown links"
+while IFS= read -r md; do
+  dir=$(dirname "$md")
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "doccheck: $md: broken link -> $target" >&2
+      fail=1
+    fi
+  done < <(awk '/^[[:space:]]*```/ { inblock = !inblock; next } !inblock' "$md" |
+    grep -o '\[[^]]*\]([^)]*)' | sed 's/.*](\([^)]*\))/\1/')
+done < <(git ls-files '*.md')
+
+echo "doccheck: exported symbols"
+if ! go run ./scripts/doccheck \
+  ./internal/dsps ./internal/telemetry ./internal/chaos ./internal/obs; then
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "doccheck: FAIL" >&2
+  exit 1
+fi
+echo "doccheck: OK"

@@ -1,0 +1,120 @@
+// Command doccheck enforces the repo's documentation bar: every exported
+// top-level declaration (and every exported method on an exported type)
+// in the packages named on the command line must carry a doc comment.
+// scripts/doccheck.sh runs it over the operator-facing packages and adds
+// markdown link validation; scripts/ci.sh runs both.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package dir> ...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		n, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		bad += n
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported symbol(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+func checkDir(dir string) (int, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	bad := 0
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		fmt.Fprintf(os.Stderr, "%s:%d: undocumented exported %s %s\n", p.Filename, p.Line, kind, name)
+		bad++
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc.Text() != "" {
+						continue
+					}
+					if d.Recv != nil && !receiverExported(d.Recv) {
+						continue // method on an unexported type is not API
+					}
+					kind := "function"
+					if d.Recv != nil {
+						kind = "method"
+					}
+					report(d.Pos(), kind, d.Name.Name)
+				case *ast.GenDecl:
+					blockDoc := d.Doc.Text() != ""
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && !blockDoc && s.Doc.Text() == "" && s.Comment.Text() == "" {
+								report(s.Pos(), "type", s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							documented := blockDoc || s.Doc.Text() != "" || s.Comment.Text() != ""
+							for _, n := range s.Names {
+								if n.IsExported() && !documented {
+									report(n.Pos(), kindOf(d.Tok), n.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return bad, nil
+}
+
+// receiverExported reports whether a method's receiver names an exported
+// type (unwrapping pointer and generic receivers).
+func receiverExported(recv *ast.FieldList) bool {
+	if recv == nil || len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr:
+			t = v.X
+		case *ast.IndexListExpr:
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func kindOf(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race ci lint lint-baseline doccheck bench bench-train bench-engine bench-smoke soak soak-short fuzz-smoke
+.PHONY: build test race ci lint lint-baseline doccheck bench bench-train bench-engine bench-elastic bench-smoke soak soak-short fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -32,11 +32,13 @@ ci:
 	sh scripts/ci.sh
 
 # Short deterministic chaos soak (~15s): a generated fault schedule replays
-# against the live engine, with and without the control loop, under
+# against the live engine — without the control loop, with it, and with the
+# elastic planner live while scale events race a flash crowd — under
 # invariant checking. Any violation prints the reproducing seed.
 soak-short:
 	$(GO) run ./cmd/dspsim -chaos -chaos-seed 1 -duration 4s -rate 300
 	$(GO) run ./cmd/dspsim -chaos -chaos-seed 2 -duration 4s -rate 300 -dynamic -control
+	$(GO) run ./cmd/dspsim -chaos -chaos-seed 7 -duration 4s -rate 800 -dynamic -control -elastic -shape burst
 
 # Full soak (~2min): a longer dspsim chaos replay plus the stretched
 # engine and controlled-bypass soak tests. CHAOS_SOAK_SECONDS widens the
@@ -66,9 +68,15 @@ bench-train:
 bench-engine:
 	$(GO) test -run xxx -bench 'BenchmarkEngine' -benchmem ./internal/dsps/
 
+# Elastic-runtime actuation latency: ScaleUp splice cost and the full
+# up+down drain cycle under live load. Numbers are recorded in the
+# `elastic` section of BENCH_engine.json.
+bench-elastic:
+	$(GO) test -run xxx -bench 'BenchmarkScale' -benchtime 2s -count 3 ./internal/dsps/
+
 # One-iteration pass over the engine benchmarks: catches benchmark bit-rot
 # in CI without paying for statistically stable numbers. (The root-package
 # experiment benchmarks are full experiment replicas — minutes even at 1x —
 # so they stay out of the CI gate.)
 bench-smoke:
-	$(GO) test -run xxx -bench 'BenchmarkEngine' -benchtime 1x -benchmem ./internal/dsps/
+	$(GO) test -run xxx -bench 'BenchmarkEngine|BenchmarkScale' -benchtime 1x -benchmem ./internal/dsps/

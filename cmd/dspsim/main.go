@@ -64,7 +64,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	faultWorker := fs.String("fault-worker", "", "inject a fault into this worker")
 	faultAt := fs.Duration("fault-at", 0, "when to inject the fault")
 	slowdown := fs.Float64("slowdown", 8, "fault slowdown factor")
-	rate := fs.Float64("rate", 0, "spout rate in tuples/s (0 = unpaced)")
+	rate := fs.Float64("rate", 0, "spout rate in tuples/s (0 = unpaced; non-constant shapes default to 500)")
+	shapeName := fs.String("shape", "constant", "workload rate shape: constant, sinusoid (diurnal), or burst (flash crowd)")
+	elastic := fs.Bool("elastic", false, "make stage parallelism live: with -control the planner emits scale actions; with -chaos the schedule carries scale-up/scale-down events")
+	elasticMin := fs.Int("elastic-min", 1, "parallelism floor for elastic scale-downs")
+	elasticMax := fs.Int("elastic-max", 8, "parallelism ceiling for elastic scale-ups")
 	seed := fs.Int64("seed", 1, "random seed")
 	httpAddr := fs.String("http", "", "serve the JSON console on this address (e.g. :8080)")
 	chaosMode := fs.Bool("chaos", false, "replay a generated fault schedule under invariant checking instead of the stats loop")
@@ -113,8 +117,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	var shape workload.RateShape
-	if *rate > 0 {
-		shape = workload.ConstantRate{TPS: *rate}
+	base := *rate
+	if base <= 0 && *shapeName != "constant" {
+		base = 500
+	}
+	switch *shapeName {
+	case "constant":
+		if base > 0 {
+			shape = workload.ConstantRate{TPS: base}
+		}
+	case "sinusoid":
+		shape = workload.SinusoidRate{Base: base, Amplitude: 0.8 * base, Period: *duration / 2}
+	case "burst":
+		shape = workload.BurstRate{Base: base, BurstX: 4, Period: *duration / 3, Duration: *duration / 10}
+	default:
+		return fmt.Errorf("unknown shape %q (want constant, sinusoid, or burst)", *shapeName)
 	}
 	var topo *dsps.Topology
 	var dg *dsps.DynamicGrouping
@@ -187,6 +204,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("-control requires -dynamic")
 		}
 		ctrlCfg := core.Config{Policy: core.PolicyBypass}
+		if *elastic {
+			ctrlCfg.Scale = &core.ScaleConfig{
+				MinParallelism: *elasticMin,
+				MaxParallelism: *elasticMax,
+			}
+		}
 		if obsLogger != nil {
 			ctrlCfg.Events = obsLogger
 		}
@@ -239,7 +262,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cc := chaosConfig{
 			seed: *chaosSeed, events: *chaosEvents, horizon: *duration,
 			workers: *workers, stage: stage, controlPeriod: *controlPeriod,
-			verbose: *chaosVerbose, metrics: chaosMetrics,
+			verbose: *chaosVerbose, metrics: chaosMetrics, elastic: *elastic,
 		}
 		if obsLogger != nil {
 			cc.sink = obsLogger
@@ -317,6 +340,7 @@ type chaosConfig struct {
 	verbose       bool
 	metrics       *chaos.Metrics
 	sink          dsps.EventSink
+	elastic       bool
 }
 
 // runChaos generates a seeded fault schedule, replays it under invariant
@@ -330,12 +354,17 @@ func runChaos(cluster *dsps.Cluster, topo *dsps.Topology, dg *dsps.DynamicGroupi
 			events = 6
 		}
 	}
-	script := chaos.Generate(cc.seed, chaos.GenConfig{
+	gen := chaos.GenConfig{
 		Events:  events,
 		Horizon: cc.horizon,
 		Workers: cc.workers,
 		Stall:   true, Checkpoint: true, Pause: true,
-	})
+	}
+	if cc.elastic {
+		gen.Scale = true
+		gen.ScaleComponents = []string{cc.stage}
+	}
+	script := chaos.Generate(cc.seed, gen)
 	opts := chaos.Options{SpoutComponents: topo.Spouts(), Metrics: cc.metrics, Events: cc.sink}
 	if cc.verbose {
 		opts.Log = stdout
@@ -357,6 +386,12 @@ func runChaos(cluster *dsps.Cluster, topo *dsps.Topology, dg *dsps.DynamicGroupi
 		return err
 	}
 	fmt.Fprint(stdout, rep)
+	if cc.elastic {
+		for _, sc := range cluster.Snapshot().Scale {
+			fmt.Fprintf(stdout, "elastic: topology=%s ups=%d downs=%d route_epoch=%d retired=%d\n",
+				sc.Topology, sc.Ups, sc.Downs, sc.RouteEpoch, sc.Retired)
+		}
+	}
 	if rerr := rep.Err(); rerr != nil {
 		// A failing seed dumps its sampled tuple trace so the violation can
 		// be inspected offline (or replayed via docs/OBSERVABILITY.md).

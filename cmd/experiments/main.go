@@ -1,11 +1,11 @@
 // Command experiments regenerates the paper's evaluation: each subcommand
 // prints the rows/series behind one reconstructed table or figure
-// (E1..E12, see DESIGN.md), and `all` runs the full suite. With -out DIR
+// (E1..E13, see DESIGN.md), and `all` runs the full suite. With -out DIR
 // each experiment's series is also written as a plot-ready CSV.
 //
 // Usage:
 //
-//	experiments <e1|…|e12|all> [flags]
+//	experiments <e1|…|e13|all> [flags]
 package main
 
 import (
@@ -180,6 +180,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 				result = r
 				fmt.Fprint(stdout, r.Render())
 			}
+		case "e13":
+			var r *experiments.ElasticResult
+			if r, err = experiments.RunElastic(experiments.ElasticConfig{
+				Warmup: *warmup, Seed: *seed, Engine: knobs,
+			}); err == nil {
+				result = r
+				fmt.Fprint(stdout, r.Render())
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -207,7 +215,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	names := []string{cmd}
 	if cmd == "all" {
-		names = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e6s", "e8", "e9", "e10", "e10r", "e11", "e12"}
+		names = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e6s", "e8", "e9", "e10", "e10r", "e11", "e12", "e13"}
 	}
 	for _, n := range names {
 		if err := runOne(n); err != nil {
@@ -235,5 +243,6 @@ subcommands:
   e10r  reaction trace with mid-run recovery and probe-based re-admission
   e11   planner policy ablation (bypass vs weighted vs uniform)
   e12   cross-topology co-location interference trace
+  e13   elastic vs static parallelism under diurnal and flash-crowd load
   all   run the full suite`)
 }

@@ -62,6 +62,7 @@ func Analyzers() []*Analyzer {
 		GlobalRand,
 		LockedSend,
 		MapOrder,
+		SpliceSend,
 		WallTime,
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })

@@ -1,0 +1,91 @@
+// Package corpus is the splicesend analyzer's test corpus.
+package corpus
+
+import "sync"
+
+type worker struct {
+	inCh chan []int
+	dead bool
+}
+
+type topo struct {
+	spliceMu sync.RWMutex
+	mu       sync.Mutex
+	targets  []*worker
+}
+
+// bareSend hands a batch over with no lock at all: a concurrent retire can
+// reclaim the queue mid-send.
+func (t *topo) bareSend(w *worker, b []int) {
+	w.inCh <- b // want: splicesend
+}
+
+// wrongLock holds a lock, but not the splice lock.
+func (t *topo) wrongLock(w *worker, b []int) {
+	t.mu.Lock()
+	w.inCh <- b // want: splicesend
+	t.mu.Unlock()
+}
+
+// unlockedTail releases the read lock before the send lands.
+func (t *topo) unlockedTail(w *worker, b []int) {
+	t.spliceMu.RLock()
+	dead := w.dead
+	t.spliceMu.RUnlock()
+	if !dead {
+		w.inCh <- b // want: splicesend
+	}
+}
+
+// selectSend blocks in a comm clause without the lock.
+func (t *topo) selectSend(w *worker, b []int, stop chan struct{}) {
+	select {
+	case w.inCh <- b: // want: splicesend
+	case <-stop:
+	}
+}
+
+// readLockedSend is the engine's producer shape and must NOT be flagged.
+func (t *topo) readLockedSend(w *worker, b []int) {
+	t.spliceMu.RLock()
+	if !w.dead {
+		w.inCh <- b
+	}
+	t.spliceMu.RUnlock()
+}
+
+// writeLockedSend holds the exclusive splice lock: also fine.
+func (t *topo) writeLockedSend(w *worker, b []int) {
+	t.spliceMu.Lock()
+	w.inCh <- b
+	t.spliceMu.Unlock()
+}
+
+// deferredSpliceUnlock keeps the lock to function exit: the send is held.
+func (t *topo) deferredSpliceUnlock(w *worker, b []int) {
+	t.spliceMu.RLock()
+	defer t.spliceMu.RUnlock()
+	w.inCh <- b
+}
+
+// selectLockedSend takes the lock inside the comm body before sending —
+// the ticker's self-send shape; must NOT be flagged.
+func (t *topo) selectLockedSend(w *worker, b []int, tick chan struct{}) {
+	for {
+		select {
+		case <-tick:
+			t.spliceMu.RLock()
+			if w.dead {
+				t.spliceMu.RUnlock()
+				return
+			}
+			w.inCh <- b
+			t.spliceMu.RUnlock()
+		}
+	}
+}
+
+// otherChannel is not a fan-out queue; ordinary sends stay out of scope.
+func (t *topo) otherChannel(out chan []int, b []int) {
+	out <- b
+}

@@ -275,3 +275,71 @@ func TestCheckerViolationCap(t *testing.T) {
 		t.Fatalf("cap not enforced: %d violations, truncated=%v", len(ck.violations), ck.truncated)
 	}
 }
+
+// TestScaleEventsHoldInvariants runs a generated timeline with scale
+// events enabled against the soak topology: worker faults and live
+// scale-up/scale-down interleave, and the conservation, monotonicity, and
+// quiescence invariants must all survive the executor churn.
+func TestScaleEventsHoldInvariants(t *testing.T) {
+	topo, _ := soakTopology(t, "scaled")
+	c := soakCluster()
+	if err := c.Submit(topo, dsps.SubmitConfig{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	script := Generate(7, GenConfig{
+		Events: 12, Horizon: 600 * time.Millisecond, Workers: 4,
+		Stall: true, Checkpoint: true,
+		Scale: true, ScaleComponents: []string{"mid"},
+	})
+	var ups, downs int
+	for _, ev := range script.Events {
+		switch ev.Kind {
+		case KindScaleUp:
+			ups++
+		case KindScaleDown:
+			downs++
+		}
+	}
+	if ups == 0 || downs == 0 {
+		t.Fatalf("scale-enabled schedule carries ups=%d downs=%d, want both > 0", ups, downs)
+	}
+	rep, err := Run(c, script, Options{SpoutComponents: topo.Spouts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("invariants violated under scale churn:\n%s", rep)
+	}
+	if !rep.Drained {
+		t.Fatal("final drain failed after scale churn")
+	}
+	snap := c.Snapshot()
+	if len(snap.Scale) != 1 || snap.Scale[0].Ups == 0 {
+		t.Fatalf("no scale-ups recorded: %+v", snap.Scale)
+	}
+}
+
+// TestScaleFloorSkipped verifies a scale-down below parallelism 1 is
+// rejected by the engine and counted as skipped, not a run failure.
+func TestScaleFloorSkipped(t *testing.T) {
+	topo, _ := soakTopology(t, "floor")
+	c := soakCluster()
+	if err := c.Submit(topo, dsps.SubmitConfig{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	script := Script{Seed: 5, Events: []Event{
+		{At: 10 * time.Millisecond, Kind: KindScaleDown, Component: "mid", Tasks: 2, DrainTimeout: 100 * time.Millisecond},
+	}}
+	rep, err := Run(c, script, Options{SpoutComponents: topo.Spouts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped != 1 || rep.Fired != 0 {
+		t.Fatalf("fired=%d skipped=%d, want 0/1", rep.Fired, rep.Skipped)
+	}
+	if !rep.OK() {
+		t.Fatalf("floor rejection must not violate invariants:\n%s", rep)
+	}
+}

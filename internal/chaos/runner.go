@@ -295,6 +295,21 @@ func Run(c *dsps.Cluster, s Script, opts Options) (*Report, error) {
 		case KindCheckpoint:
 			quiesce(true)
 			applied = true
+		case KindScaleUp:
+			if name := targetTopology(ev); name != "" && ev.Component != "" {
+				if err := c.ScaleUp(name, ev.Component, ev.taskDelta()); err == nil {
+					applied = true
+				}
+			}
+		case KindScaleDown:
+			// Floor rejections (parallelism would drop below 1) are
+			// legitimate under churn and count as skipped, like inject
+			// events targeting dead workers.
+			if name := targetTopology(ev); name != "" && ev.Component != "" {
+				if err := c.ScaleDown(name, ev.Component, ev.taskDelta(), ev.DrainTimeout); err == nil {
+					applied = true
+				}
+			}
 		}
 		if applied {
 			rep.Fired++

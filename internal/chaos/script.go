@@ -51,6 +51,12 @@ const (
 	// quiescent-state invariants (conservation, acker quiescence, empty
 	// queues), and resumes emission.
 	KindCheckpoint
+	// KindScaleUp spawns Event.Tasks new executors for Event.Component.
+	KindScaleUp
+	// KindScaleDown drains Event.Tasks executors of Event.Component (the
+	// drain bounded by Event.DrainTimeout). Scaling to the floor is rejected
+	// by the engine and counts as skipped — legitimate under churn.
+	KindScaleDown
 )
 
 // String implements fmt.Stringer.
@@ -70,6 +76,10 @@ func (k Kind) String() string {
 		return "resume"
 	case KindCheckpoint:
 		return "checkpoint"
+	case KindScaleUp:
+		return "scale-up"
+	case KindScaleDown:
+		return "scale-down"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -98,8 +108,13 @@ type Event struct {
 	Workers int
 	// Strategy is the placement for KindRebalance.
 	Strategy dsps.PlacementStrategy
-	// DrainTimeout bounds the rebalance drain.
+	// DrainTimeout bounds the rebalance or scale-down drain.
 	DrainTimeout time.Duration
+
+	// Component is the bolt targeted by KindScaleUp/KindScaleDown.
+	Component string
+	// Tasks is the executor delta magnitude for scale events; 0 means 1.
+	Tasks int
 }
 
 // String implements fmt.Stringer.
@@ -119,9 +134,19 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s clear %s", e.At.Round(time.Millisecond), target)
 	case KindRebalance:
 		return fmt.Sprintf("%s rebalance workers=%d strategy=%s", e.At.Round(time.Millisecond), e.Workers, e.Strategy)
+	case KindScaleUp, KindScaleDown:
+		return fmt.Sprintf("%s %s %s n=%d", e.At.Round(time.Millisecond), e.Kind, e.Component, e.taskDelta())
 	default:
 		return fmt.Sprintf("%s %s", e.At.Round(time.Millisecond), e.Kind)
 	}
+}
+
+// taskDelta returns the effective executor count of a scale event.
+func (e Event) taskDelta() int {
+	if e.Tasks <= 0 {
+		return 1
+	}
+	return e.Tasks
 }
 
 // Script is a deterministic fault timeline. Seed records where the events
@@ -182,6 +207,17 @@ type GenConfig struct {
 	Checkpoint bool
 	// Pause inserts one pause/resume pair.
 	Pause bool
+	// Scale permits live executor scale-up/scale-down events against the
+	// components named in ScaleComponents. Besides joining the random event
+	// pool, an enabled schedule always carries one guaranteed scale-up at
+	// Horizon/3 and one scale-down at 2·Horizon/3, so every scaled run
+	// exercises both directions mid-fault.
+	Scale bool
+	// ScaleComponents names the bolts scale events may target; required
+	// when Scale is set (Scale is ignored while it is empty).
+	ScaleComponents []string
+	// MaxScaleStep bounds the executor delta of one scale event; default 2.
+	MaxScaleStep int
 }
 
 func (c GenConfig) withDefaults() GenConfig {
@@ -206,6 +242,12 @@ func (c GenConfig) withDefaults() GenConfig {
 	if c.MaxWorkersOnRebalance <= 0 {
 		c.MaxWorkersOnRebalance = c.Workers + 2
 	}
+	if c.MaxScaleStep <= 0 {
+		c.MaxScaleStep = 2
+	}
+	if len(c.ScaleComponents) == 0 {
+		c.Scale = false
+	}
 	return c
 }
 
@@ -226,6 +268,18 @@ func Generate(seed int64, cfg GenConfig) Script {
 	if cfg.Kill {
 		kinds = append(kinds, KindKill)
 	}
+	if cfg.Scale {
+		kinds = append(kinds, KindScaleUp, KindScaleDown)
+	}
+	scaleEvent := func(kind Kind, at time.Duration) Event {
+		return Event{
+			At:           at,
+			Kind:         kind,
+			Component:    cfg.ScaleComponents[rng.Intn(len(cfg.ScaleComponents))],
+			Tasks:        1 + rng.Intn(cfg.MaxScaleStep),
+			DrainTimeout: 100 * time.Millisecond,
+		}
+	}
 
 	var evs []Event
 	for len(evs) < cfg.Events {
@@ -240,8 +294,17 @@ func Generate(seed int64, cfg GenConfig) Script {
 				ev.Strategy = dsps.PlaceBlocked
 			}
 			ev.DrainTimeout = 50 * time.Millisecond
+		case KindScaleUp, KindScaleDown:
+			ev = scaleEvent(ev.Kind, ev.At)
 		}
 		evs = append(evs, ev)
+	}
+	if cfg.Scale {
+		// Guarantee both directions fire mid-run: an up while the schedule's
+		// early faults are live, a down while the late ones are.
+		evs = append(evs,
+			scaleEvent(KindScaleUp, cfg.Horizon/3),
+			scaleEvent(KindScaleDown, 2*cfg.Horizon/3))
 	}
 	if cfg.Pause {
 		p := time.Duration(rng.Int63n(int64(cfg.Horizon / 2)))

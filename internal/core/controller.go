@@ -54,6 +54,10 @@ type ControlTarget struct {
 	Component string
 	// Grouping is the handle returned by BoltDeclarer.DynamicGrouping.
 	Grouping *dsps.DynamicGrouping
+	// Topology names the topology hosting Component for parallelism
+	// actuation; when empty it is inferred from the snapshot (sufficient
+	// unless two running topologies share the component name).
+	Topology string
 }
 
 // Config parameterizes the controller. Zero fields take the noted
@@ -101,6 +105,14 @@ type Config struct {
 	// plan and per detected misbehaving worker (obs.Logger satisfies the
 	// interface); nil disables event emission.
 	Events dsps.EventSink
+	// Scale, when non-nil, widens planning from ratio-only to
+	// ratio+parallelism: each control tick also consults a per-component
+	// ScalePlanner and actuates its deltas through Cluster.ScaleUp /
+	// ScaleDown. A ratio vector applied in the same tick as a scale
+	// action is sized for the pre-scale parallelism; DynamicGrouping
+	// falls back to a uniform split until the next tick re-plans at the
+	// new width.
+	Scale *ScaleConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +153,13 @@ type StepReport struct {
 	Basis map[string]float64
 	// Applied maps target component → the ratios actually set.
 	Applied map[string][]float64
+	// Plan is the widened action set of this step: the applied ratio
+	// vectors plus any parallelism deltas the scale planner decided.
+	Plan Plan
+	// ScaleErrors records actuation failures of scale actions (the step
+	// itself still succeeds: a lost race against a concurrent scale event
+	// must not kill the control loop).
+	ScaleErrors []string
 	// UsedModel reports whether fitted predictors (vs. reactive
 	// fallback) produced Predicted.
 	UsedModel bool
@@ -157,6 +176,7 @@ type Controller struct {
 	predictors map[string]timeseries.Predictor
 	fitted     bool
 	history    []StepReport
+	scalers    map[string]*ScalePlanner // per component, when cfg.Scale is set
 }
 
 // NewController builds a controller for the given cluster and control
@@ -174,6 +194,10 @@ func NewController(cluster *dsps.Cluster, targets []ControlTarget, cfg Config) (
 		}
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Scale != nil {
+		sc := cfg.Scale.withDefaults()
+		cfg.Scale = &sc
+	}
 	components := cfg.Components
 	if len(components) == 0 {
 		for _, t := range targets {
@@ -182,13 +206,20 @@ func NewController(cluster *dsps.Cluster, targets []ControlTarget, cfg Config) (
 	} else if len(components) == 1 && components[0] == "*" {
 		components = nil
 	}
-	return &Controller{
+	ctl := &Controller{
 		cfg:        cfg,
 		cluster:    cluster,
 		targets:    targets,
 		sampler:    telemetry.NewSamplerFiltered(cfg.HistoryLimit, components...),
 		predictors: make(map[string]timeseries.Predictor),
-	}, nil
+	}
+	if cfg.Scale != nil {
+		ctl.scalers = make(map[string]*ScalePlanner, len(targets))
+		for _, t := range targets {
+			ctl.scalers[t.Component] = NewScalePlanner(*cfg.Scale)
+		}
+	}
+	return ctl, nil
 }
 
 // Fitted reports whether per-worker predictors have been trained.
@@ -333,6 +364,13 @@ func (c *Controller) Step() (StepReport, error) {
 		if err != nil {
 			return report, err
 		}
+		action := Action{Component: target.Component, Ratios: ratios}
+		if sp := c.scalers[target.Component]; sp != nil {
+			sig := c.scaleSignals(snap, target.Component, taskWorkers, report.Basis)
+			action.Scale, action.Reason = sp.Decide(snap.At, sig)
+		}
+		report.Plan.Actions = append(report.Plan.Actions, action)
+
 		if err := target.Grouping.SetRatios(ratios); err != nil {
 			return report, fmt.Errorf("core: apply ratios to %s: %w", target.Component, err)
 		}
@@ -343,9 +381,68 @@ func (c *Controller) Step() (StepReport, error) {
 				"ratios", formatRatios(ratios),
 				"misbehaving", misbehavingList(report.Misbehaving))
 		}
+		if action.Scale != 0 {
+			if err := c.actuateScale(snap, target, action); err != nil {
+				// A failed scale action (e.g. a lost race against a chaos
+				// script's concurrent scale event) is recorded, not fatal.
+				report.ScaleErrors = append(report.ScaleErrors, err.Error())
+				if c.cfg.Events != nil {
+					c.cfg.Events.Event(dsps.EventWarn, "scale action failed",
+						"component", target.Component, "error", err.Error())
+				}
+			} else if c.cfg.Events != nil {
+				c.cfg.Events.Event(dsps.EventInfo, "scale action applied",
+					"component", target.Component,
+					"delta", strconv.Itoa(action.Scale),
+					"reason", action.Reason)
+			}
+		}
 	}
 	c.history = append(c.history, report)
 	return report, nil
+}
+
+// scaleSignals folds a snapshot into the scale planner's per-window input
+// for one component: live parallelism, mean queue occupancy, and the mean
+// basis over the workers hosting the component.
+func (c *Controller) scaleSignals(snap *dsps.Snapshot, component string, taskWorkers []string, basis map[string]float64) ScaleSignals {
+	tasks := snap.ComponentTasks(component)
+	sig := ScaleSignals{Parallelism: len(tasks)}
+	if qs := c.cluster.Config().QueueSize; qs > 0 && len(tasks) > 0 {
+		var occ float64
+		for _, ts := range tasks {
+			occ += float64(ts.QueueLen) / float64(qs)
+		}
+		sig.Occupancy = occ / float64(len(tasks))
+	}
+	var sum float64
+	n := 0
+	for _, w := range taskWorkers {
+		if b, ok := basis[w]; ok {
+			sum += b
+			n++
+		}
+	}
+	if n > 0 {
+		sig.Basis = sum / float64(n)
+	}
+	return sig
+}
+
+// actuateScale applies one parallelism delta through the cluster.
+func (c *Controller) actuateScale(snap *dsps.Snapshot, target ControlTarget, action Action) error {
+	topology := target.Topology
+	if topology == "" {
+		tasks := snap.ComponentTasks(target.Component)
+		if len(tasks) == 0 {
+			return fmt.Errorf("core: no tasks to infer topology of %s", target.Component)
+		}
+		topology = tasks[0].Topology
+	}
+	if action.Scale > 0 {
+		return c.cluster.ScaleUp(topology, target.Component, action.Scale)
+	}
+	return c.cluster.ScaleDown(topology, target.Component, -action.Scale, c.cfg.Scale.DrainTimeout)
 }
 
 // formatRatios renders a ratio vector compactly for event attributes.

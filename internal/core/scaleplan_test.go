@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// tick advances the planner one window and returns the delta.
+func tick(p *ScalePlanner, at time.Time, par int, occ, basis float64) int {
+	d, _ := p.Decide(at, ScaleSignals{Parallelism: par, Occupancy: occ, Basis: basis})
+	return d
+}
+
+func TestScalePlannerHysteresisUp(t *testing.T) {
+	p := NewScalePlanner(ScaleConfig{UpWindows: 3, Cooldown: time.Second})
+	t0 := time.Unix(0, 0)
+	// Two hot windows: below the streak, no action.
+	if d := tick(p, t0, 2, 0.9, 1); d != 0 {
+		t.Fatalf("delta after 1 hot window = %d, want 0", d)
+	}
+	if d := tick(p, t0.Add(time.Second), 2, 0.9, 1); d != 0 {
+		t.Fatalf("delta after 2 hot windows = %d, want 0", d)
+	}
+	// A calm window resets the streak.
+	if d := tick(p, t0.Add(2*time.Second), 2, 0.2, 1); d != 0 {
+		t.Fatal("calm window acted")
+	}
+	for i := 0; i < 2; i++ {
+		if d := tick(p, t0.Add(time.Duration(3+i)*time.Second), 2, 0.9, 1); d != 0 {
+			t.Fatalf("delta on restarted streak window %d = %d, want 0", i+1, d)
+		}
+	}
+	if d := tick(p, t0.Add(5*time.Second), 2, 0.9, 1); d != 1 {
+		t.Fatalf("delta after full streak = %d, want +1", d)
+	}
+}
+
+func TestScalePlannerCooldownBlocksBackToBack(t *testing.T) {
+	p := NewScalePlanner(ScaleConfig{UpWindows: 1, Cooldown: 10 * time.Second})
+	t0 := time.Unix(100, 0)
+	if d := tick(p, t0, 2, 0.9, 1); d != 1 {
+		t.Fatalf("first action delta = %d, want +1", d)
+	}
+	// Still hot, but inside the cooldown.
+	if d := tick(p, t0.Add(time.Second), 3, 0.9, 1); d != 0 {
+		t.Fatalf("delta inside cooldown = %d, want 0", d)
+	}
+	if d := tick(p, t0.Add(11*time.Second), 3, 0.9, 1); d != 1 {
+		t.Fatalf("delta after cooldown = %d, want +1", d)
+	}
+}
+
+func TestScalePlannerClampsAtBounds(t *testing.T) {
+	p := NewScalePlanner(ScaleConfig{UpWindows: 1, DownWindows: 1, Cooldown: time.Millisecond, MaxParallelism: 3, MinParallelism: 2})
+	t0 := time.Unix(0, 0)
+	if d := tick(p, t0, 3, 0.9, 1); d != 0 {
+		t.Fatalf("scaled past max: %d", d)
+	}
+	if d := tick(p, t0.Add(time.Second), 2, 0.0, 1); d != 0 {
+		t.Fatalf("scaled below min: %d", d)
+	}
+	if d := tick(p, t0.Add(2*time.Second), 3, 0.0, 1); d != -1 {
+		t.Fatalf("idle at par 3 gave %d, want -1", d)
+	}
+}
+
+func TestScalePlannerScalesDownAfterIdleStreak(t *testing.T) {
+	p := NewScalePlanner(ScaleConfig{DownWindows: 4, Cooldown: time.Millisecond})
+	t0 := time.Unix(0, 0)
+	for i := 0; i < 3; i++ {
+		if d := tick(p, t0.Add(time.Duration(i)*time.Second), 4, 0.01, 1); d != 0 {
+			t.Fatalf("acted before idle streak complete (window %d)", i+1)
+		}
+	}
+	if d := tick(p, t0.Add(3*time.Second), 4, 0.01, 1); d != -1 {
+		t.Fatalf("delta after idle streak = %d, want -1", d)
+	}
+}
+
+func TestScalePlannerForecastChannel(t *testing.T) {
+	// Occupancy stays moderate (above UpOccupancy/2, below UpOccupancy),
+	// but the basis forecast rises far above the calm baseline: the
+	// forecast channel alone must trigger the scale-up — the proactive
+	// path the DRNN forecasts exist for.
+	p := NewScalePlanner(ScaleConfig{UpOccupancy: 0.8, UpWindows: 2, Cooldown: time.Millisecond})
+	t0 := time.Unix(0, 0)
+	// Calm windows establish the baseline basis (~1.0).
+	for i := 0; i < 5; i++ {
+		if d := tick(p, t0.Add(time.Duration(i)*time.Second), 2, 0.1, 1.0); d != 0 {
+			t.Fatal("calm window acted")
+		}
+	}
+	// Forecast spikes to 3× baseline with occupancy at 0.5 (< UpOccupancy).
+	if d := tick(p, t0.Add(5*time.Second), 2, 0.5, 3.0); d != 0 {
+		t.Fatalf("forecast window 1 acted early: %d", d)
+	}
+	d, reason := p.Decide(t0.Add(6*time.Second), ScaleSignals{Parallelism: 2, Occupancy: 0.5, Basis: 3.0})
+	if d != 1 {
+		t.Fatalf("forecast channel delta = %d, want +1 (reason %q)", d, reason)
+	}
+	if reason == "" {
+		t.Fatal("no reason recorded for forecast-driven action")
+	}
+}
+
+// TestControllerElasticStepScalesUp closes the loop end to end: a live
+// cluster with a saturated work stage, a controller with Scale configured,
+// and enough ticks that the occupancy streak fires and an executor is
+// actually spawned through the plan/actuate path.
+func TestControllerElasticStepScalesUp(t *testing.T) {
+	cl, targets, shutdown := newControlledTopology(t, 0)
+	defer shutdown()
+	c, err := NewController(cl, targets, Config{
+		Policy: PolicyUniform,
+		Scale: &ScaleConfig{
+			MaxParallelism: 5,
+			UpOccupancy:    0.2,
+			UpWindows:      2,
+			Cooldown:       50 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	scaled := false
+	for time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+		rep, err := c.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.ScaleErrors) > 0 {
+			t.Fatalf("scale errors: %v", rep.ScaleErrors)
+		}
+		for _, a := range rep.Plan.Actions {
+			if a.Scale > 0 {
+				scaled = true
+			}
+		}
+		if scaled {
+			break
+		}
+	}
+	if !scaled {
+		t.Fatal("controller never planned a scale-up despite saturation")
+	}
+	if got := cl.ComponentParallelism("controlled", "work"); got < 4 {
+		t.Fatalf("parallelism after elastic step = %d, want ≥ 4", got)
+	}
+	snap := cl.Snapshot()
+	if len(snap.Scale) != 1 || snap.Scale[0].Ups == 0 {
+		t.Fatalf("cluster scale stats = %+v, want Ups > 0", snap.Scale)
+	}
+}

@@ -461,41 +461,32 @@ func (c *Cluster) Snapshot() *Snapshot {
 			perWorker[w.id] = ws
 			workerOrder = append(workerOrder, w.id)
 		}
+		rt.tasksMu.RLock()
+		stats := make([]TaskStats, 0, len(rt.tasks)+len(rt.retired))
 		for _, t := range rt.tasks {
-			ts := TaskStats{
-				TaskID:          t.id,
-				Topology:        rt.topo.Name,
-				Component:       t.component,
-				TaskIndex:       t.index,
-				WorkerID:        t.worker.id,
-				NodeID:          t.worker.node.id,
-				IsSpout:         t.spout != nil,
-				Executed:        t.counters.executed.Load(),
-				Emitted:         t.counters.emitted.Load(),
-				Acked:           t.counters.acked.Load(),
-				Failed:          t.counters.failed.Load(),
-				Dropped:         t.counters.dropped.Load(),
-				ExecLatency:     time.Duration(t.counters.execNanos.Load()),
-				QueueLatency:    time.Duration(t.counters.queueNanos.Load()),
-				CompleteLatency: time.Duration(t.counters.completeNs.Load()),
-				ExecHist:        t.counters.execHist.snapshot(),
-				CompleteHist:    t.counters.completeHist.snapshot(),
-
-				Batches:           t.counters.batches.Load(),
-				BackpressureWaits: t.counters.bpWaits.Load(),
-			}
-			if t.inCh != nil {
-				// queued is reservation-accurate: 0 ≤ queued ≤ QueueSize.
-				ts.QueueLen = int(t.queued.Load())
-			}
+			stats = append(stats, rt.taskStats(t))
+		}
+		// Retired (scaled-down) tasks keep their frozen counters in the
+		// snapshot so per-task series stay monotone and component/worker
+		// aggregates remain comparable across scale events.
+		stats = append(stats, rt.retired...)
+		rt.tasksMu.RUnlock()
+		for _, ts := range stats {
 			snap.Tasks = append(snap.Tasks, ts)
-			ws := perWorker[t.worker.id]
+			ws := perWorker[ts.WorkerID]
 			ws.Tasks = append(ws.Tasks, ts)
 			ws.Executed += ts.Executed
 			ws.Emitted += ts.Emitted
 			ws.ExecLatency += ts.ExecLatency
 			ws.QueueLen += ts.QueueLen
 		}
+		snap.Scale = append(snap.Scale, ScaleStats{
+			Topology:   rt.topo.Name,
+			Ups:        rt.scaleUps.Load(),
+			Downs:      rt.scaleDowns.Load(),
+			RouteEpoch: rt.routeEpoch.Load(),
+			Retired:    countRetired(stats),
+		})
 		pending := rt.acker.shardPending()
 		inflight := 0
 		for _, p := range pending {
@@ -524,7 +515,50 @@ func (c *Cluster) Snapshot() *Snapshot {
 		}
 		snap.Nodes = append(snap.Nodes, ns)
 	}
+	snap.Components = buildComponentStats(snap.Tasks)
 	return snap
+}
+
+// taskStats captures one task's counters. Callers hold rt.tasksMu (any
+// side) or otherwise own the task (retireTask, after the executor exited).
+func (rt *runningTopology) taskStats(t *task) TaskStats {
+	ts := TaskStats{
+		TaskID:          t.id,
+		Topology:        rt.topo.Name,
+		Component:       t.component,
+		TaskIndex:       t.index,
+		WorkerID:        t.worker.id,
+		NodeID:          t.worker.node.id,
+		IsSpout:         t.spout != nil,
+		Executed:        t.counters.executed.Load(),
+		Emitted:         t.counters.emitted.Load(),
+		Acked:           t.counters.acked.Load(),
+		Failed:          t.counters.failed.Load(),
+		Dropped:         t.counters.dropped.Load(),
+		ExecLatency:     time.Duration(t.counters.execNanos.Load()),
+		QueueLatency:    time.Duration(t.counters.queueNanos.Load()),
+		CompleteLatency: time.Duration(t.counters.completeNs.Load()),
+		ExecHist:        t.counters.execHist.snapshot(),
+		CompleteHist:    t.counters.completeHist.snapshot(),
+
+		Batches:           t.counters.batches.Load(),
+		BackpressureWaits: t.counters.bpWaits.Load(),
+	}
+	if t.inCh != nil {
+		// queued is reservation-accurate: 0 ≤ queued ≤ QueueSize.
+		ts.QueueLen = int(t.queued.Load())
+	}
+	return ts
+}
+
+func countRetired(stats []TaskStats) int {
+	n := 0
+	for _, ts := range stats {
+		if ts.Retired {
+			n++
+		}
+	}
+	return n
 }
 
 // InFlight returns the number of tracked, incomplete spout roots across

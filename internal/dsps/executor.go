@@ -17,11 +17,17 @@ type envelope struct {
 }
 
 // edge is one subscription: tuples from source fan out via grouping to the
-// ordered target tasks.
+// ordered target tasks. The target list is a copy-on-write snapshot so a
+// scale event can splice in (or out) executors while producers keep
+// routing: readers load the pointer once and see a consistent, index-
+// sorted list; splicers publish a fresh list under the topology's splice
+// lock and bump the route epoch (see runningTopology.splice).
 type edge struct {
-	grouping Grouping
-	single   singleSelector // non-nil fast path when grouping picks one target
-	targets  []*task
+	grouping   Grouping
+	single     singleSelector // non-nil fast path when grouping picks one target
+	source     string         // producing component
+	targetComp string         // consuming component
+	targets    atomic.Pointer[[]*task]
 }
 
 // outBuf accumulates envelopes bound for one (edge, target) pair until a
@@ -50,7 +56,22 @@ type task struct {
 	inCh  chan []envelope  // bolts only
 	ackCh chan []ackResult // spouts only
 	space chan struct{}    // bolts only: capacity-freed wakeup signal
+	stop  chan struct{}    // closed by ScaleDown to drain this executor
+	done  chan struct{}    // closed when the executor goroutine exits
 	rng   *rand.Rand       // fault-probability draws; executor-goroutine-local
+
+	// dead marks a retired task. Set under the topology splice lock, read
+	// by producers under its read lock, so a parked send observing
+	// dead=false is ordered before the retirer's queue reclamation.
+	dead atomic.Bool
+	// inbound counts batches currently inside sendBatch targeting this
+	// task (delivered, parked, or re-routing). ScaleDown's flush phase
+	// waits for it to reach zero before stopping the executor.
+	inbound atomic.Int64
+	// routeGen is the route epoch this task's cached emit state (outs,
+	// edgeBase, edgeTargets) was built against. Written by the executor
+	// goroutine, read by splicers awaiting convergence.
+	routeGen atomic.Uint64
 
 	// queued counts tuples reserved against this task's QueueSize bound:
 	// producers CAS-reserve before sending a batch (reserve) and the
@@ -65,15 +86,16 @@ type task struct {
 	pending  int // spout: un-acked roots; executor-goroutine-local
 
 	// Emit-path state, owned by the executor goroutine.
-	edgeState  uint64 // splitmix64 state for edge-id draws
-	arena      tupleArena
-	outEdges   []*edge
-	outFields  []string
-	edgeBase   []int    // outs offset of each outEdges entry
-	outs       []outBuf // flat per-(edge,target) buffers, edge-major
-	selScratch []int    // routing selections (outs indices), reused
-	idScratch  []uint64 // spout edge-id staging, reused
-	firstBufNs int64    // coarse stamp of oldest unflushed envelope, 0 if none
+	edgeState   uint64 // splitmix64 state for edge-id draws
+	arena       tupleArena
+	outEdges    []*edge
+	outFields   []string
+	edgeBase    []int     // outs offset of each outEdges entry
+	edgeTargets [][]*task // cached target snapshot of each outEdges entry
+	outs        []outBuf  // flat per-(edge,target) buffers, edge-major
+	selScratch  []int     // routing selections (outs indices), reused
+	idScratch   []uint64  // spout edge-id staging, reused
+	firstBufNs  int64     // coarse stamp of oldest unflushed envelope, 0 if none
 }
 
 // runningTopology is the live runtime of a submitted topology.
@@ -82,11 +104,32 @@ type runningTopology struct {
 	topo    *Topology
 	cfg     ClusterConfig
 
-	workers  []*workerProc
+	workers []*workerProc
+	// tasksMu guards tasks, retired, nextIndex and placed against live
+	// scale events; taskByID is copy-on-write so hot-path ack lookups
+	// stay lock-free.
+	tasksMu  sync.RWMutex
 	tasks    []*task
-	taskByID map[int]*task
+	retired  []TaskStats // frozen stats of drained (scaled-down) tasks
+	taskByID atomic.Pointer[map[int]*task]
 	edges    map[string][]*edge // source component -> downstream edges
+	allEdges []*edge            // every edge, declaration order
 	acker    *acker
+
+	// Elastic-runtime state. spliceMu orders fan-out table splices against
+	// producer sends: a send holds the read lock only across its
+	// (non-blocking) reserve+hand-off, a splice holds the write lock while
+	// publishing new target lists. routeEpoch/spliceWake let executors
+	// rebuild their cached routes lazily; scaleMu serializes scale
+	// operations on this topology.
+	spliceMu   sync.RWMutex
+	routeEpoch atomic.Uint64
+	spliceWake atomic.Pointer[chan struct{}]
+	scaleMu    sync.Mutex
+	nextIndex  map[string]int // per-component next task index (monotone)
+	placed     int            // round-robin placement cursor for spawns
+	scaleUps   atomic.Int64
+	scaleDowns atomic.Int64
 
 	clock    coarseClock
 	fl       *freeLists
@@ -105,14 +148,17 @@ type runningTopology struct {
 // mirroring Storm's even scheduler.
 func (c *Cluster) buildRuntime(t *Topology, sc SubmitConfig) (*runningTopology, error) {
 	rt := &runningTopology{
-		cluster:  c,
-		topo:     t,
-		cfg:      c.cfg,
-		taskByID: make(map[int]*task),
-		edges:    make(map[string][]*edge),
-		fl:       newFreeLists(),
-		trace:    c.trace,
+		cluster:   c,
+		topo:      t,
+		cfg:       c.cfg,
+		edges:     make(map[string][]*edge),
+		nextIndex: make(map[string]int),
+		fl:        newFreeLists(),
+		trace:     c.trace,
 	}
+	rt.taskByID.Store(&map[int]*task{})
+	wake := make(chan struct{})
+	rt.spliceWake.Store(&wake)
 	rt.effBatch = c.cfg.BatchSize
 	if rt.effBatch > c.cfg.QueueSize {
 		rt.effBatch = c.cfg.QueueSize
@@ -165,6 +211,8 @@ func (c *Cluster) buildRuntime(t *Topology, sc SubmitConfig) (*runningTopology, 
 				execCost:  sd.execCost,
 				spout:     sd.factory(),
 				ackCh:     make(chan []ackResult, c.cfg.MaxSpoutPending),
+				stop:      make(chan struct{}),
+				done:      make(chan struct{}),
 				rng:       rand.New(rand.NewSource(taskSeed)),
 				edgeState: uint64(taskSeed),
 			}
@@ -173,7 +221,6 @@ func (c *Cluster) buildRuntime(t *Topology, sc SubmitConfig) (*runningTopology, 
 				return nil, fmt.Errorf("dsps: spout factory for %q returned nil", sd.name)
 			}
 			rt.tasks = append(rt.tasks, tk)
-			rt.taskByID[tk.id] = tk
 			c.nextTask++
 		}
 	}
@@ -195,6 +242,8 @@ func (c *Cluster) buildRuntime(t *Topology, sc SubmitConfig) (*runningTopology, 
 				// send after a successful reservation never blocks.
 				inCh:      make(chan []envelope, c.cfg.QueueSize),
 				space:     make(chan struct{}, 1),
+				stop:      make(chan struct{}),
+				done:      make(chan struct{}),
 				rng:       rand.New(rand.NewSource(taskSeed)),
 				edgeState: uint64(taskSeed),
 			}
@@ -203,25 +252,33 @@ func (c *Cluster) buildRuntime(t *Topology, sc SubmitConfig) (*runningTopology, 
 				return nil, fmt.Errorf("dsps: bolt factory for %q returned nil", bd.name)
 			}
 			rt.tasks = append(rt.tasks, tk)
-			rt.taskByID[tk.id] = tk
 			c.nextTask++
 		}
 	}
-	// Wire subscriptions.
+	byID := make(map[int]*task, len(rt.tasks))
 	byComponent := map[string][]*task{}
 	for _, tk := range rt.tasks {
+		byID[tk.id] = tk
 		byComponent[tk.component] = append(byComponent[tk.component], tk)
+		rt.nextIndex[tk.component] = tk.index + 1
 	}
+	rt.taskByID.Store(&byID)
+	rt.placed = placed
+	// Wire subscriptions.
 	for _, bd := range t.bolts {
 		for _, sub := range bd.subs {
+			targets := byComponent[bd.name]
 			e := &edge{
-				grouping: sub.grouping,
-				targets:  byComponent[bd.name],
+				grouping:   sub.grouping,
+				source:     sub.source,
+				targetComp: bd.name,
 			}
+			e.targets.Store(&targets)
 			if s, ok := sub.grouping.(singleSelector); ok {
 				e.single = s
 			}
 			rt.edges[sub.source] = append(rt.edges[sub.source], e)
+			rt.allEdges = append(rt.allEdges, e)
 		}
 	}
 	// Precompute each task's emit-path state: its outgoing edges, output
@@ -229,12 +286,7 @@ func (c *Cluster) buildRuntime(t *Topology, sc SubmitConfig) (*runningTopology, 
 	for _, tk := range rt.tasks {
 		tk.outEdges = rt.edges[tk.component]
 		tk.outFields = rt.fieldsOf(tk.component)
-		for _, e := range tk.outEdges {
-			tk.edgeBase = append(tk.edgeBase, len(tk.outs))
-			for _, tgt := range e.targets {
-				tk.outs = append(tk.outs, outBuf{target: tgt, edge: e})
-			}
-		}
+		rt.rebuildOuts(tk, 0)
 	}
 	rt.acker = newAcker(c.cfg.AckTimeout, c.cfg.AckerShards, rt.clock.nowNs)
 	return rt, nil
@@ -253,6 +305,59 @@ func (rt *runningTopology) fieldsOf(component string) []string {
 		}
 	}
 	return nil
+}
+
+// taskOf resolves a task id through the copy-on-write index.
+//
+//dsps:hotpath
+func (rt *runningTopology) taskOf(id int) *task {
+	return (*rt.taskByID.Load())[id]
+}
+
+// rebuildOuts flushes any buffered envelopes to their previous targets and
+// rebuilds tk's cached emit state (edgeBase, edgeTargets, outs) against
+// each out-edge's current fan-out table, recording the route epoch it was
+// built for. Called only from tk's executor goroutine (and from
+// buildRuntime/spawnTask before the goroutine starts).
+func (rt *runningTopology) rebuildOuts(tk *task, epoch uint64) {
+	rt.flushOut(tk)
+	tk.edgeBase = tk.edgeBase[:0]
+	tk.edgeTargets = tk.edgeTargets[:0]
+	tk.outs = tk.outs[:0]
+	for _, e := range tk.outEdges {
+		targets := *e.targets.Load()
+		tk.edgeBase = append(tk.edgeBase, len(tk.outs))
+		tk.edgeTargets = append(tk.edgeTargets, targets)
+		for _, tgt := range targets {
+			tk.outs = append(tk.outs, outBuf{target: tgt, edge: e})
+		}
+	}
+	tk.routeGen.Store(epoch)
+}
+
+// maybeRebuild refreshes tk's cached routes when a splice has advanced the
+// route epoch. On the hot path this is two atomic loads.
+//
+//dsps:hotpath
+func (rt *runningTopology) maybeRebuild(tk *task) {
+	if epoch := rt.routeEpoch.Load(); epoch != tk.routeGen.Load() {
+		rt.rebuildOuts(tk, epoch)
+	}
+}
+
+// splice runs fn (which must publish new edge target lists) under the
+// write side of the splice lock, advances the route epoch, and wakes every
+// executor so idle tasks rebuild their cached routes promptly. Returns the
+// new epoch.
+func (rt *runningTopology) splice(fn func()) uint64 {
+	rt.spliceMu.Lock()
+	fn()
+	epoch := rt.routeEpoch.Add(1)
+	fresh := make(chan struct{})
+	old := rt.spliceWake.Swap(&fresh)
+	rt.spliceMu.Unlock()
+	close(*old)
+	return epoch
 }
 
 // sendAcks delivers a batch of completions to a spout task, bailing out on
@@ -302,7 +407,7 @@ func (rt *runningTopology) start() {
 				}
 				bySpout := map[*task][]ackResult{}
 				for _, r := range expired {
-					if sp := rt.taskByID[r.spoutTID]; sp != nil {
+					if sp := rt.taskOf(r.spoutTID); sp != nil {
 						bySpout[sp] = append(bySpout[sp], r)
 					}
 				}
@@ -317,8 +422,16 @@ func (rt *runningTopology) start() {
 func (rt *runningTopology) stop() {
 	rt.spoutsPaused.Store(true)
 	rt.cancel()
+	// Cancelling first makes any in-flight scale operation bail out of its
+	// drain waits quickly; holding scaleMu through cleanup keeps a retire
+	// from racing the Cleanup loop below.
+	rt.scaleMu.Lock()
+	defer rt.scaleMu.Unlock()
 	rt.wg.Wait()
-	for _, tk := range rt.tasks {
+	rt.tasksMu.RLock()
+	tasks := append([]*task(nil), rt.tasks...)
+	rt.tasksMu.RUnlock()
+	for _, tk := range tasks {
 		if tk.spout != nil {
 			tk.spout.Close()
 		} else {
@@ -328,8 +441,11 @@ func (rt *runningTopology) stop() {
 }
 
 // progress returns a monotone counter of total work done, used by Drain to
-// detect stability.
+// detect stability. Retired tasks contribute their frozen counters so the
+// total never regresses across a scale-down.
 func (rt *runningTopology) progress() int64 {
+	rt.tasksMu.RLock()
+	defer rt.tasksMu.RUnlock()
 	var total int64
 	for _, tk := range rt.tasks {
 		total += tk.counters.executed.Load() +
@@ -337,6 +453,9 @@ func (rt *runningTopology) progress() int64 {
 			tk.counters.acked.Load() +
 			tk.counters.failed.Load() +
 			tk.counters.dropped.Load()
+	}
+	for _, ts := range rt.retired {
+		total += ts.Executed + ts.Emitted + ts.Acked + ts.Failed + ts.Dropped
 	}
 	return total
 }
@@ -347,6 +466,8 @@ func (rt *runningTopology) quiescent() bool {
 	if rt.acker.inFlight() > 0 {
 		return false
 	}
+	rt.tasksMu.RLock()
+	defer rt.tasksMu.RUnlock()
 	for _, tk := range rt.tasks {
 		if tk.queued.Load() != 0 || tk.outPending.Load() != 0 {
 			return false
@@ -390,7 +511,11 @@ func (tk *task) nextEdgeID() uint64 {
 func (rt *runningTopology) routeInto(tk *task, tpl *Tuple) int {
 	sel := tk.selScratch[:0]
 	for ei, e := range tk.outEdges {
-		nt := len(e.targets)
+		// Route against the cached target snapshot, not the live table:
+		// the cache is consistent with the outs/edgeBase layout even while
+		// a splice is publishing new targets (maybeRebuild catches up at
+		// the next loop top).
+		nt := len(tk.edgeTargets[ei])
 		if nt == 0 {
 			continue
 		}
@@ -504,6 +629,14 @@ func (tk *task) release(n int64) {
 // in-flight emissions. Non-dynamic edges never re-route (fields grouping
 // correctness depends on stable key→task assignment).
 //
+// The reserve+hand-off rides the topology splice read lock: it never
+// blocks while held (a reserved send always finds a channel slot), and it
+// orders the send against ScaleDown's retire sequence — once the retirer
+// has set target.dead under the write lock, no further batch can land in
+// the dead queue, so reclaiming it is race-free. A batch parked against a
+// since-retired target re-homes to a live sibling through the edge's
+// current fan-out table.
+//
 //dsps:hotpath
 func (rt *runningTopology) sendBatch(src *task, e *edge, target *task, envs []envelope) {
 	n := int64(len(envs))
@@ -514,13 +647,41 @@ func (rt *runningTopology) sendBatch(src *task, e *edge, target *task, envs []en
 		retry = rerouteRetry
 	}
 	waited := false
+	target.inbound.Add(1)
 	for {
+		rt.spliceMu.RLock()
+		if target.dead.Load() {
+			rt.spliceMu.RUnlock()
+			tl := *e.targets.Load()
+			if len(tl) == 0 {
+				// No live target remains (topology tearing down): drop the
+				// batch; anchored roots fail via the ack-timeout sweep.
+				target.inbound.Add(-1)
+				src.outPending.Add(-n)
+				rt.fl.putEnvs(envs)
+				return
+			}
+			idx := 0
+			if e.single != nil {
+				if i := e.single.selectOne(envs[0].tuple, len(tl)); i >= 0 && i < len(tl) {
+					idx = i
+				}
+			}
+			target.inbound.Add(-1)
+			target = tl[idx]
+			target.inbound.Add(1)
+			continue
+		}
 		if target.reserve(n, bound) {
+			//dspslint:ignore lockedsend reserved send never blocks; the splice read lock orders it against fan-out splices
 			target.inCh <- envs
+			rt.spliceMu.RUnlock()
+			target.inbound.Add(-1)
 			src.outPending.Add(-n)
 			src.counters.batches.Add(1)
 			return
 		}
+		rt.spliceMu.RUnlock()
 		if !waited {
 			waited = true
 			src.counters.bpWaits.Add(1)
@@ -528,12 +689,24 @@ func (rt *runningTopology) sendBatch(src *task, e *edge, target *task, envs []en
 		select {
 		case <-target.space:
 		case <-rt.ctx.Done():
+			target.inbound.Add(-1)
 			src.outPending.Add(-n)
+			return
+		case <-src.stop:
+			// The producer itself is being drained: abandon the blocked
+			// send so its executor can settle (the batch's roots fail via
+			// ack timeout, exactly like a Storm rebalance).
+			target.inbound.Add(-1)
+			src.outPending.Add(-n)
+			rt.fl.putEnvs(envs)
 			return
 		case <-time.After(retry):
 			if dynamic {
-				if idx := dg.selectOne(envs[0].tuple, len(e.targets)); idx >= 0 && idx < len(e.targets) {
-					target = e.targets[idx]
+				tl := *e.targets.Load()
+				if idx := dg.selectOne(envs[0].tuple, len(tl)); idx >= 0 && idx < len(tl) {
+					target.inbound.Add(-1)
+					target = tl[idx]
+					target.inbound.Add(1)
 				}
 			}
 		}
@@ -643,6 +816,7 @@ func (rt *runningTopology) handleAckBatch(tk *task, rb []ackResult) {
 
 func (rt *runningTopology) runSpout(tk *task) {
 	defer rt.wg.Done()
+	defer close(tk.done)
 	collector := &spoutCollector{rt: rt, tk: tk}
 	tk.spout.Open(rt.taskContext(tk), collector)
 	idleBackoff := 100 * time.Microsecond
@@ -652,6 +826,7 @@ func (rt *runningTopology) runSpout(tk *task) {
 			return
 		default:
 		}
+		rt.maybeRebuild(tk)
 		// Drain completed roots first.
 		drained := 0
 		for drained < 64 {
@@ -780,7 +955,7 @@ func (bc *boltCollector) addAck(r ackResult) {
 		}
 	}
 	if ab == nil {
-		sp := bc.rt.taskByID[r.spoutTID]
+		sp := bc.rt.taskOf(r.spoutTID)
 		if sp == nil {
 			return
 		}
@@ -837,6 +1012,10 @@ func (rt *runningTopology) processEnvelope(tk *task, collector *boltCollector, e
 	for faulty && fault.Stall {
 		select {
 		case <-rt.ctx.Done():
+			return false
+		case <-tk.stop:
+			// A forced scale-down retires even a stalled executor; the
+			// batch's unprocessed roots fail via ack timeout.
 			return false
 		case <-time.After(10 * time.Millisecond):
 		}
@@ -919,6 +1098,7 @@ func (rt *runningTopology) processEnvelope(tk *task, collector *boltCollector, e
 
 func (rt *runningTopology) runBolt(tk *task) {
 	defer rt.wg.Done()
+	defer close(tk.done)
 	collector := &boltCollector{rt: rt, tk: tk}
 	tk.bolt.Prepare(rt.taskContext(tk), collector)
 	if tk.tickInterval > 0 {
@@ -926,9 +1106,20 @@ func (rt *runningTopology) runBolt(tk *task) {
 		go rt.runTicker(tk)
 	}
 	for {
+		rt.maybeRebuild(tk)
+		wake := rt.spliceWake.Load()
 		select {
 		case <-rt.ctx.Done():
 			return
+		case <-tk.stop:
+			// Drain request from ScaleDown: everything emitted or staged
+			// goes out before the executor settles.
+			rt.flushOut(tk)
+			collector.flushAcks()
+			return
+		case <-*wake:
+			// A splice advanced the route epoch; loop so even an idle bolt
+			// re-acks it promptly (ScaleDown waits on that convergence).
 		case batch := <-tk.inCh:
 			tk.release(int64(len(batch)))
 			for i := range batch {
@@ -957,8 +1148,19 @@ func (rt *runningTopology) runTicker(tk *task) {
 		select {
 		case <-rt.ctx.Done():
 			return
+		case <-tk.stop:
+			return
 		case <-ticker.C:
+			// The self-send rides the splice read lock like any producer:
+			// once ScaleDown marks the task dead under the write lock, no
+			// tick can slip into the queue it is about to reclaim.
+			rt.spliceMu.RLock()
+			if tk.dead.Load() {
+				rt.spliceMu.RUnlock()
+				return
+			}
 			if !tk.reserve(1, int64(rt.cfg.QueueSize)) {
+				rt.spliceMu.RUnlock()
 				continue // full queue drops the tick
 			}
 			b := rt.fl.getEnvs(1)
@@ -966,7 +1168,9 @@ func (rt *runningTopology) runTicker(tk *task) {
 				tuple:      &Tuple{SourceComponent: TickComponent},
 				enqueuedNs: rt.clock.nowNs(),
 			})
+			//dspslint:ignore lockedsend reserved tick send never blocks; the splice read lock orders it against retirement
 			tk.inCh <- b
+			rt.spliceMu.RUnlock()
 		}
 	}
 }

@@ -35,6 +35,10 @@ type TaskStats struct {
 	NodeID    string
 	// IsSpout reports whether the task runs a spout (vs. a bolt).
 	IsSpout bool
+	// Retired reports a task drained and removed by a live scale-down; its
+	// counters are frozen at their final values so snapshot totals stay
+	// monotone across executor churn.
+	Retired bool
 
 	Executed int64
 	Emitted  int64
@@ -123,6 +127,118 @@ type NodeStats struct {
 	Busy int
 }
 
+// ComponentStats aggregates every task of one component — live and
+// retired — keyed by component name. Because scale events change which
+// task indices exist, per-component aggregates are the series that stay
+// comparable across an elastic run; per-task series come and go with the
+// executors backing them.
+type ComponentStats struct {
+	// Topology names the owning topology.
+	Topology string
+	// Component is the aggregation key.
+	Component string
+	// IsSpout reports whether the component is a spout.
+	IsSpout bool
+	// Parallelism is the live executor count (retired tasks excluded).
+	Parallelism int
+	// Retired counts executors drained away by scale-downs.
+	Retired int
+
+	Executed int64
+	Emitted  int64
+	Acked    int64
+	Failed   int64
+	Dropped  int64
+	// ExecLatency is the cumulative execute latency over all executors.
+	ExecLatency time.Duration
+	// QueueLatency is the cumulative input-queue wait over all executors.
+	QueueLatency time.Duration
+	// CompleteLatency is the cumulative complete latency (spouts).
+	CompleteLatency time.Duration
+	// QueueLen sums the instantaneous queue lengths of live executors.
+	QueueLen int
+	// Batches and BackpressureWaits sum the data-plane counters.
+	Batches           int64
+	BackpressureWaits int64
+	// ExecHist and CompleteHist are the merged latency distributions.
+	ExecHist     []int64
+	CompleteHist []int64
+}
+
+// ExecQuantile estimates the q-quantile of per-tuple execute latency
+// across the component's executors.
+func (s ComponentStats) ExecQuantile(q float64) time.Duration {
+	return HistogramQuantile(s.ExecHist, q)
+}
+
+// CompleteQuantile estimates the q-quantile of complete latency (spout
+// components only).
+func (s ComponentStats) CompleteQuantile(q float64) time.Duration {
+	return HistogramQuantile(s.CompleteHist, q)
+}
+
+// AvgExecLatency returns the component's mean execute latency.
+func (s ComponentStats) AvgExecLatency() time.Duration {
+	if s.Executed == 0 {
+		return 0
+	}
+	return s.ExecLatency / time.Duration(s.Executed)
+}
+
+// buildComponentStats folds per-task stats into per-component aggregates,
+// in first-appearance order (deterministic: tasks are snapshotted in
+// declaration-then-spawn order per topology).
+func buildComponentStats(tasks []TaskStats) []ComponentStats {
+	idx := map[string]int{}
+	var out []ComponentStats
+	for _, ts := range tasks {
+		key := ts.Topology + "\x00" + ts.Component
+		i, ok := idx[key]
+		if !ok {
+			i = len(out)
+			idx[key] = i
+			out = append(out, ComponentStats{
+				Topology:  ts.Topology,
+				Component: ts.Component,
+				IsSpout:   ts.IsSpout,
+			})
+		}
+		cs := &out[i]
+		if ts.Retired {
+			cs.Retired++
+		} else {
+			cs.Parallelism++
+			cs.QueueLen += ts.QueueLen
+		}
+		cs.Executed += ts.Executed
+		cs.Emitted += ts.Emitted
+		cs.Acked += ts.Acked
+		cs.Failed += ts.Failed
+		cs.Dropped += ts.Dropped
+		cs.ExecLatency += ts.ExecLatency
+		cs.QueueLatency += ts.QueueLatency
+		cs.CompleteLatency += ts.CompleteLatency
+		cs.Batches += ts.Batches
+		cs.BackpressureWaits += ts.BackpressureWaits
+		cs.ExecHist = MergeHistograms(cs.ExecHist, ts.ExecHist)
+		cs.CompleteHist = MergeHistograms(cs.CompleteHist, ts.CompleteHist)
+	}
+	return out
+}
+
+// ScaleStats summarizes one topology's elastic-runtime activity.
+type ScaleStats struct {
+	// Topology names the owning topology.
+	Topology string
+	// Ups and Downs count executors added and retired by scale events.
+	Ups   int64
+	Downs int64
+	// RouteEpoch is the current fan-out splice generation.
+	RouteEpoch uint64
+	// Retired is the number of retired tasks still carried in snapshots.
+	Retired int
+}
+
 // AckerStats is a point-in-time view of one topology's sharded acker.
 type AckerStats struct {
 	// Topology names the owning topology.
@@ -140,8 +256,13 @@ type Snapshot struct {
 	Tasks   []TaskStats
 	Workers []WorkerStats
 	Nodes   []NodeStats
+	// Components aggregates Tasks per component name — the series that
+	// stay comparable across scale events (see ComponentStats).
+	Components []ComponentStats
 	// Acker holds one entry per running topology, in submit order.
 	Acker []AckerStats
+	// Scale holds one elastic-runtime summary per topology, submit order.
+	Scale []ScaleStats
 }
 
 // TaskByID returns the stats of one task, or a zero value and false.
@@ -154,16 +275,29 @@ func (s *Snapshot) TaskByID(id int) (TaskStats, bool) {
 	return TaskStats{}, false
 }
 
-// ComponentTasks returns the stats of every task of a component, ordered
-// by task index.
+// ComponentTasks returns the stats of every live task of a component,
+// ordered by task index. Retired tasks are excluded: callers map these
+// positionally onto grouping fan-out tables and ratio vectors, which only
+// cover live executors.
 func (s *Snapshot) ComponentTasks(component string) []TaskStats {
 	var out []TaskStats
 	for _, t := range s.Tasks {
-		if t.Component == component {
+		if t.Component == component && !t.Retired {
 			out = append(out, t)
 		}
 	}
 	return out
+}
+
+// ComponentByName returns the aggregate stats of one component, or a zero
+// value and false.
+func (s *Snapshot) ComponentByName(topology, component string) (ComponentStats, bool) {
+	for _, cs := range s.Components {
+		if cs.Topology == topology && cs.Component == component {
+			return cs, true
+		}
+	}
+	return ComponentStats{}, false
 }
 
 // WorkerByID returns the stats of one worker, or a zero value and false.

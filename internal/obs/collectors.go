@@ -79,6 +79,11 @@ func NewClusterCollector(c *dsps.Cluster) Collector {
 		completeHist := Family{Name: "predstream_spout_complete_latency_seconds", Help: "Complete latency distribution of acked roots (spout tasks).", Type: TypeHistogram}
 
 		for _, t := range snap.Tasks {
+			if t.Retired {
+				// Retired executors would pin stale per-task series forever;
+				// their final counters live on in the component aggregates.
+				continue
+			}
 			ls := taskLabels(t)
 			executed.Samples = append(executed.Samples, Sample{Labels: ls, Value: float64(t.Executed)})
 			emitted.Samples = append(emitted.Samples, Sample{Labels: ls, Value: float64(t.Emitted)})
@@ -99,6 +104,53 @@ func NewClusterCollector(c *dsps.Cluster) Collector {
 					Hist:   latencyHistData(t.ExecHist, t.ExecLatency.Seconds()),
 				})
 			}
+		}
+
+		// Component aggregates are the series that stay comparable across
+		// scale events: task-level series come and go with executor churn,
+		// component-level counters fold live and retired executors together
+		// and remain monotone.
+		compExecuted := counter("predstream_component_executed_total", "Tuples executed by the component (live + retired executors).")
+		compEmitted := counter("predstream_component_emitted_total", "Tuples emitted downstream by the component.")
+		compAcked := counter("predstream_component_acked_total", "Spout roots completed (spout components).")
+		compFailed := counter("predstream_component_failed_total", "Spout roots failed or timed out (spout components).")
+		compDropped := counter("predstream_component_dropped_total", "Tuples dropped at the component (faults and forced drains).")
+		compParallelism := gauge("predstream_component_parallelism", "Live executor count of the component.")
+		compRetired := counter("predstream_component_retired_executors_total", "Executors drained away from the component by scale-downs.")
+		compQueueLen := gauge("predstream_component_queue_length", "Summed input queue length across the component's live executors.")
+		compExecHist := Family{Name: "predstream_component_exec_latency_seconds", Help: "Per-tuple execute latency distribution across the component's executors.", Type: TypeHistogram}
+		for _, cs := range snap.Components {
+			ls := []Label{
+				{Name: "topology", Value: cs.Topology},
+				{Name: "component", Value: cs.Component},
+			}
+			compExecuted.Samples = append(compExecuted.Samples, Sample{Labels: ls, Value: float64(cs.Executed)})
+			compEmitted.Samples = append(compEmitted.Samples, Sample{Labels: ls, Value: float64(cs.Emitted)})
+			compDropped.Samples = append(compDropped.Samples, Sample{Labels: ls, Value: float64(cs.Dropped)})
+			compParallelism.Samples = append(compParallelism.Samples, Sample{Labels: ls, Value: float64(cs.Parallelism)})
+			compRetired.Samples = append(compRetired.Samples, Sample{Labels: ls, Value: float64(cs.Retired)})
+			if cs.IsSpout {
+				compAcked.Samples = append(compAcked.Samples, Sample{Labels: ls, Value: float64(cs.Acked)})
+				compFailed.Samples = append(compFailed.Samples, Sample{Labels: ls, Value: float64(cs.Failed)})
+			} else {
+				compQueueLen.Samples = append(compQueueLen.Samples, Sample{Labels: ls, Value: float64(cs.QueueLen)})
+				compExecHist.Samples = append(compExecHist.Samples, Sample{
+					Labels: ls,
+					Hist:   latencyHistData(cs.ExecHist, cs.ExecLatency.Seconds()),
+				})
+			}
+		}
+
+		scaleUps := counter("predstream_scale_ups_total", "Executors added by live scale-up events.")
+		scaleDowns := counter("predstream_scale_downs_total", "Executors retired by live scale-down events.")
+		routeEpoch := counter("predstream_scale_route_epoch", "Fan-out splice generation of the topology's routing tables.")
+		scaleRetired := gauge("predstream_scale_retired_tasks", "Retired executors still carried in snapshots.")
+		for _, sc := range snap.Scale {
+			ls := []Label{{Name: "topology", Value: sc.Topology}}
+			scaleUps.Samples = append(scaleUps.Samples, Sample{Labels: ls, Value: float64(sc.Ups)})
+			scaleDowns.Samples = append(scaleDowns.Samples, Sample{Labels: ls, Value: float64(sc.Downs)})
+			routeEpoch.Samples = append(routeEpoch.Samples, Sample{Labels: ls, Value: float64(sc.RouteEpoch)})
+			scaleRetired.Samples = append(scaleRetired.Samples, Sample{Labels: ls, Value: float64(sc.Retired)})
 		}
 
 		slowdown := gauge("predstream_worker_slowdown", "Currently injected fault slowdown factor (1 = healthy).")
@@ -144,6 +196,9 @@ func NewClusterCollector(c *dsps.Cluster) Collector {
 		fams := []Family{
 			executed, emitted, acked, failed, dropped, batches, bpWaits,
 			queueLen, execHist, completeHist,
+			compExecuted, compEmitted, compAcked, compFailed, compDropped,
+			compParallelism, compRetired, compQueueLen, compExecHist,
+			scaleUps, scaleDowns, routeEpoch, scaleRetired,
 			slowdown, misbehaving,
 			nodeBusy, nodeCores, nodeExecuted,
 			ackerInFlight, shardPending,

@@ -224,3 +224,67 @@ func TestRuntimeCollector(t *testing.T) {
 		t.Fatal("heap alloc <= 0")
 	}
 }
+
+// TestClusterCollectorScaleSeries drives a live scale-up and scale-down and
+// verifies the component aggregates absorb the churn: retired executors
+// vanish from per-task series but their work stays counted per component,
+// and the scale counters surface the event history.
+func TestClusterCollectorScaleSeries(t *testing.T) {
+	c, _ := buildObsCluster(t)
+	defer c.Shutdown()
+	if err := c.ScaleUp("obs-coll", "work", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ScaleDown("obs-coll", "work", 3, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fams := famMap(NewClusterCollector(c).Collect())
+
+	// One live work executor remains; the per-task series must only cover
+	// live tasks (src + work survivor).
+	if got := len(fams["predstream_task_executed_total"].Samples); got != 2 {
+		t.Fatalf("per-task executed series = %d, want 2 (retired tasks must drop out)", got)
+	}
+	// The component aggregate still counts every executed tuple, including
+	// the retired executors' share.
+	var workExecuted float64
+	for _, s := range fams["predstream_component_executed_total"].Samples {
+		for _, l := range s.Labels {
+			if l.Name == "component" && l.Value == "work" {
+				workExecuted = s.Value
+			}
+		}
+	}
+	if workExecuted != 100 {
+		t.Fatalf("component executed = %v, want 100 across live+retired executors", workExecuted)
+	}
+	if got := sumValues(fams["predstream_component_parallelism"]); got != 2 { // src 1 + work 1
+		t.Fatalf("parallelism sum = %v, want 2", got)
+	}
+	if got := sumValues(fams["predstream_component_retired_executors_total"]); got != 3 {
+		t.Fatalf("retired executors = %v, want 3", got)
+	}
+	if got := sumValues(fams["predstream_scale_ups_total"]); got != 2 {
+		t.Fatalf("scale ups = %v, want 2", got)
+	}
+	if got := sumValues(fams["predstream_scale_downs_total"]); got != 3 {
+		t.Fatalf("scale downs = %v, want 3", got)
+	}
+	if got := sumValues(fams["predstream_scale_route_epoch"]); got <= 0 {
+		t.Fatalf("route epoch = %v, want > 0", got)
+	}
+	if got := sumValues(fams["predstream_scale_retired_tasks"]); got != 3 {
+		t.Fatalf("retired tasks gauge = %v, want 3", got)
+	}
+
+	// The page still renders cleanly with the new families.
+	reg := NewRegistry()
+	reg.Register(NewClusterCollector(c))
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `predstream_component_parallelism{topology="obs-coll",component="work"} 1`) {
+		t.Fatalf("rendered page missing component parallelism row:\n%s", buf.String())
+	}
+}

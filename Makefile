@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race ci lint lint-baseline doccheck bench bench-train bench-engine bench-elastic bench-smoke soak soak-short fuzz-smoke
+.PHONY: build test race ci lint lint-baseline doccheck bench bench-train bench-engine bench-elastic bench-serve bench-smoke soak soak-short fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -23,10 +23,11 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent packages: the data-parallel
-# training engine (internal/nn), the stream engine (internal/dsps), and
-# the chaos harness that hammers it (internal/chaos).
+# training engine (internal/nn), the stream engine (internal/dsps), the
+# chaos harness that hammers it (internal/chaos), and the prediction
+# server's coalescer and load-test harness (internal/serve).
 race:
-	$(GO) test -race ./internal/nn/... ./internal/dsps/... ./internal/chaos/...
+	$(GO) test -race ./internal/nn/... ./internal/dsps/... ./internal/chaos/... ./internal/serve/...
 
 ci:
 	sh scripts/ci.sh
@@ -53,6 +54,7 @@ fuzz-smoke:
 	$(GO) test -fuzz='^FuzzGroupingRatios$$' -run '^$$' -fuzztime 10s ./internal/dsps/
 	$(GO) test -fuzz='^FuzzHistogramQuantile$$' -run '^$$' -fuzztime 10s ./internal/dsps/
 	$(GO) test -fuzz='^FuzzAckerTrees$$' -run '^$$' -fuzztime 10s ./internal/dsps/
+	$(GO) test -fuzz='^FuzzServeWireFrame$$' -run '^$$' -fuzztime 10s ./internal/serve/
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -74,9 +76,21 @@ bench-engine:
 bench-elastic:
 	$(GO) test -run xxx -bench 'BenchmarkScale' -benchtime 2s -count 3 ./internal/dsps/
 
+# Serving-path benchmarks: blocked GEMM vs the per-row loop, batched vs
+# serial vs int8 forward, and end-to-end coalesced serve latency (p50/p99
+# reported as extra benchmark metrics). Numbers are recorded in the
+# `serve` section of BENCH_engine.json.
+bench-serve:
+	$(GO) test -run xxx -bench 'BenchmarkMulMatTo|BenchmarkMulVecToLoop' -benchmem ./internal/mat/
+	$(GO) test -run xxx -bench 'Benchmark(Batch|Serial|Quant)Forward' -benchmem ./internal/nn/
+	$(GO) test -run xxx -bench 'BenchmarkServe' -benchmem ./internal/serve/
+
 # One-iteration pass over the engine benchmarks: catches benchmark bit-rot
 # in CI without paying for statistically stable numbers. (The root-package
 # experiment benchmarks are full experiment replicas — minutes even at 1x —
 # so they stay out of the CI gate.)
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkEngine|BenchmarkScale' -benchtime 1x -benchmem ./internal/dsps/
+	$(GO) test -run xxx -bench 'BenchmarkMulMatTo|BenchmarkMulVecToLoop' -benchtime 1x -benchmem ./internal/mat/
+	$(GO) test -run xxx -bench 'Benchmark(Batch|Serial|Quant)Forward' -benchtime 1x -benchmem ./internal/nn/
+	$(GO) test -run xxx -bench 'BenchmarkServe' -benchtime 1x -benchmem ./internal/serve/

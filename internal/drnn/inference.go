@@ -1,0 +1,102 @@
+package drnn
+
+import (
+	"fmt"
+
+	"predstream/internal/nn"
+	"predstream/internal/stats"
+	"predstream/internal/timeseries"
+)
+
+// Inference is a concurrent-safe batched serving handle over a fitted
+// Predictor. It owns a pooled batched forward path (float64 GEMM or int8
+// quantized), applies the model's feature standardization during the input
+// gather, and de-standardizes predictions back to metric units. Many
+// goroutines may call PredictBatch concurrently; the handle never mutates
+// the underlying Predictor.
+type Inference struct {
+	window      int
+	features    int
+	quantized   bool
+	weightBytes int
+	tgt         stats.StandardScaler
+	forward     func(seqs [][][]float64, dst [][]float64) error
+}
+
+// Inference builds a serving handle from the fitted model. With quantized
+// set, weights are converted to int8 (symmetric per-tensor scales) and the
+// forward path runs fixed-point; otherwise it runs the exact float64 path,
+// bitwise identical to Predict.
+func (p *Predictor) Inference(quantized bool) (*Inference, error) {
+	if !p.fitted {
+		return nil, timeseries.ErrNotFitted
+	}
+	scalers := p.featScalers
+	opts := nn.BatchOptions{PreScale: func(dst, src []float64) {
+		for d, v := range src {
+			dst[d] = scalers[d].Transform(v)
+		}
+	}}
+	inf := &Inference{
+		window:    p.cfg.Window,
+		features:  len(scalers),
+		quantized: quantized,
+		tgt:       p.tgtScaler,
+	}
+	if quantized {
+		qnet := nn.Quantize(p.net)
+		inf.weightBytes = qnet.WeightBytes()
+		inf.forward = qnet.NewRunner(opts).Forward
+	} else {
+		inf.weightBytes = 8 * p.net.NumParams()
+		inf.forward = nn.NewBatchRunner(p.net, opts).Forward
+	}
+	return inf, nil
+}
+
+// Window returns the input window length each request must supply.
+func (inf *Inference) Window() int { return inf.window }
+
+// Features returns the per-timestep feature count each request must supply.
+func (inf *Inference) Features() int { return inf.features }
+
+// Quantized reports whether the forward path runs int8 fixed-point.
+func (inf *Inference) Quantized() bool { return inf.quantized }
+
+// WeightBytes returns the in-memory footprint of the forward path's
+// parameters: 8 bytes per float64 parameter, or the packed size (1 byte
+// per weight, biases kept in float) when quantized.
+func (inf *Inference) WeightBytes() int { return inf.weightBytes }
+
+// PredictBatch evaluates a micro-batch of raw (unscaled) feature windows in
+// one batched forward pass and writes the prediction for windows[i], in
+// metric units, into out[i]. Every window must be Window()×Features().
+func (inf *Inference) PredictBatch(windows [][][]float64, out []float64) error {
+	if len(out) != len(windows) {
+		return fmt.Errorf("drnn: inference got %d outputs for %d windows", len(out), len(windows))
+	}
+	for i, win := range windows {
+		if len(win) != inf.window {
+			return fmt.Errorf("drnn: inference window %d has %d steps, want %d", i, len(win), inf.window)
+		}
+	}
+	backing := make([]float64, len(windows))
+	rows := make([][]float64, len(windows))
+	for i := range rows {
+		rows[i] = backing[i : i+1]
+	}
+	if err := inf.forward(windows, rows); err != nil {
+		return err
+	}
+	for i, v := range backing {
+		out[i] = inf.tgt.Inverse(v)
+	}
+	return nil
+}
+
+// PredictOne is PredictBatch for a single window.
+func (inf *Inference) PredictOne(window [][]float64) (float64, error) {
+	var out [1]float64
+	err := inf.PredictBatch([][][]float64{window}, out[:])
+	return out[0], err
+}

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"predstream/internal/drnn"
+	"predstream/internal/stats"
+	"predstream/internal/telemetry"
+	"predstream/internal/timeseries"
+)
+
+// ServingConfig parameterizes E14: the quantized-serving comparison
+// (float64 batched GEMM vs int8 fixed-point) behind cmd/predictd.
+type ServingConfig struct {
+	App    AppProfile
+	Steps  int   // trace length in windows; default 500
+	Window int   // model input window; default 10
+	Epochs int   // DRNN training epochs; default 40
+	Seed   int64 // default 1
+	// Workers is the DRNN training worker count (0 = all CPUs; results are
+	// worker-count invariant).
+	Workers int
+	// Batches lists the micro-batch sizes timed per path; default {1, 8, 32}.
+	Batches []int
+	// Reps is the timing repetitions per (path, batch) cell, best-of;
+	// default 9.
+	Reps int
+	// Tolerance is the documented bound on max |float64 − int8| prediction
+	// gap, in target metric units; default 0.01 (the golden bound pinned by
+	// internal/drnn's quantization tests).
+	Tolerance float64
+}
+
+func (c ServingConfig) withDefaults() ServingConfig {
+	if c.App == "" {
+		c.App = AppURLCount
+	}
+	if c.Steps <= 0 {
+		c.Steps = 500
+	}
+	if c.Window <= 0 {
+		c.Window = 10
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 40
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Batches) == 0 {
+		c.Batches = []int{1, 8, 32}
+	}
+	if c.Reps <= 0 {
+		c.Reps = 9
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 0.01
+	}
+	return c
+}
+
+// ServingCell is one timed (path, batch size) cell of E14.
+type ServingCell struct {
+	Path        string // "float64" or "int8"
+	Batch       int
+	NsPerWindow float64 // best-of-Reps wall time per window
+}
+
+// ServingResult is E14: accuracy delta and forward-path cost of int8
+// serving against the exact float64 path, on held-out seed-corpus windows.
+type ServingResult struct {
+	Windows      int
+	Tolerance    float64
+	MaxAbsDelta  float64 // max |float64 − int8| prediction gap
+	MeanAbsDelta float64
+	FloatReport  stats.Report // float64 path vs actuals
+	QuantReport  stats.Report // int8 path vs actuals
+	FloatBytes   int          // float64 parameter footprint
+	QuantBytes   int          // packed int8 parameter footprint
+	Cells        []ServingCell
+}
+
+// WithinTolerance reports whether the measured prediction gap stays inside
+// the documented bound.
+func (r *ServingResult) WithinTolerance() bool { return r.MaxAbsDelta <= r.Tolerance }
+
+// Render prints the E14 table.
+func (r *ServingResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Quantized serving — float64 vs int8 forward path, %d held-out windows\n", r.Windows)
+	fmt.Fprintf(&b, "  %s\n", r.FloatReport)
+	fmt.Fprintf(&b, "  %s\n", r.QuantReport)
+	verdict := "within"
+	if !r.WithinTolerance() {
+		verdict = "EXCEEDS"
+	}
+	fmt.Fprintf(&b, "  prediction gap: max |Δ| %.6f, mean |Δ| %.6f (%s tolerance %g)\n",
+		r.MaxAbsDelta, r.MeanAbsDelta, verdict, r.Tolerance)
+	fmt.Fprintf(&b, "  weight footprint: float64 %d B, int8 %d B (%.1fx smaller)\n",
+		r.FloatBytes, r.QuantBytes, float64(r.FloatBytes)/float64(r.QuantBytes))
+	fmt.Fprintf(&b, "  forward cost (ns/window, best of reps):\n")
+	fmt.Fprintf(&b, "  %-10s", "path\\batch")
+	batches := r.batches()
+	for _, bs := range batches {
+		fmt.Fprintf(&b, " %10d", bs)
+	}
+	b.WriteString("\n")
+	for _, path := range []string{"float64", "int8"} {
+		fmt.Fprintf(&b, "  %-10s", path)
+		for _, bs := range batches {
+			fmt.Fprintf(&b, " %10.0f", r.cell(path, bs))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func (r *ServingResult) batches() []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, c := range r.Cells {
+		if !seen[c.Batch] {
+			seen[c.Batch] = true
+			out = append(out, c.Batch)
+		}
+	}
+	return out
+}
+
+func (r *ServingResult) cell(path string, batch int) float64 {
+	for _, c := range r.Cells {
+		if c.Path == path && c.Batch == batch {
+			return c.NsPerWindow
+		}
+	}
+	return math.NaN()
+}
+
+// RunServing executes E14. It fits the E1 model, builds both serving
+// handles via drnn.Inference, checks the int8 prediction gap against the
+// documented tolerance on every held-out window, and times each forward
+// path across micro-batch sizes.
+func RunServing(cfg ServingConfig) (*ServingResult, error) {
+	cfg = cfg.withDefaults()
+	traces, err := traceFor(cfg.App, cfg.Steps, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	series := telemetry.ToSeries(traces["worker-0"], telemetry.TargetProcTime,
+		telemetry.FeatureConfig{Interference: true})
+	trainLen := series.Len() * 7 / 10
+	p := drnn.New(drnn.Config{
+		Window: cfg.Window, Hidden: []int{32, 32}, DenseHidden: []int{16},
+		Epochs: cfg.Epochs, Seed: cfg.Seed, Workers: cfg.Workers,
+	})
+	if err := p.Fit(series.Slice(0, trainLen)); err != nil {
+		return nil, err
+	}
+	held := &timeseries.Series{Points: series.Points[trainLen:]}
+	windows, targets, err := timeseries.Window(held, cfg.Window, 1)
+	if err != nil {
+		return nil, err
+	}
+	float, err := p.Inference(false)
+	if err != nil {
+		return nil, err
+	}
+	quant, err := p.Inference(true)
+	if err != nil {
+		return nil, err
+	}
+
+	fOut := make([]float64, len(windows))
+	qOut := make([]float64, len(windows))
+	if err := float.PredictBatch(windows, fOut); err != nil {
+		return nil, err
+	}
+	if err := quant.PredictBatch(windows, qOut); err != nil {
+		return nil, err
+	}
+	out := &ServingResult{
+		Windows:     len(windows),
+		Tolerance:   cfg.Tolerance,
+		FloatReport: stats.Evaluate("DRNN float64", targets, fOut),
+		QuantReport: stats.Evaluate("DRNN int8", targets, qOut),
+		FloatBytes:  float.WeightBytes(),
+		QuantBytes:  quant.WeightBytes(),
+	}
+	for i := range fOut {
+		d := math.Abs(fOut[i] - qOut[i])
+		if d > out.MaxAbsDelta {
+			out.MaxAbsDelta = d
+		}
+		out.MeanAbsDelta += d
+	}
+	out.MeanAbsDelta /= float64(len(fOut))
+
+	paths := []struct {
+		name string
+		inf  *drnn.Inference
+	}{{"float64", float}, {"int8", quant}}
+	scratch := make([]float64, len(windows))
+	for _, pt := range paths {
+		for _, bs := range cfg.Batches {
+			best := math.Inf(1)
+			for rep := 0; rep < cfg.Reps; rep++ {
+				start := time.Now()
+				for lo := 0; lo < len(windows); lo += bs {
+					hi := lo + bs
+					if hi > len(windows) {
+						hi = len(windows)
+					}
+					if err := pt.inf.PredictBatch(windows[lo:hi], scratch[lo:hi]); err != nil {
+						return nil, err
+					}
+				}
+				if ns := float64(time.Since(start)) / float64(len(windows)); ns < best {
+					best = ns
+				}
+			}
+			out.Cells = append(out.Cells, ServingCell{Path: pt.name, Batch: bs, NsPerWindow: best})
+		}
+	}
+	return out, nil
+}

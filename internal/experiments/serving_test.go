@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunServingShape runs a shortened E14 and checks the invariants the
+// full experiment documents: the int8 path stays within the documented
+// tolerance of float64, the packed footprint is a multiple smaller, and
+// every (path, batch) cell is timed.
+func TestRunServingShape(t *testing.T) {
+	res, err := RunServing(ServingConfig{Steps: 160, Epochs: 4, Reps: 1, Batches: []int{1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows <= 0 {
+		t.Fatal("no held-out windows evaluated")
+	}
+	if !res.WithinTolerance() {
+		t.Fatalf("max |float64-int8| = %v exceeds documented tolerance %v", res.MaxAbsDelta, res.Tolerance)
+	}
+	if res.MeanAbsDelta > res.MaxAbsDelta {
+		t.Fatalf("mean delta %v > max delta %v", res.MeanAbsDelta, res.MaxAbsDelta)
+	}
+	if res.QuantBytes <= 0 || res.QuantBytes*4 >= res.FloatBytes {
+		t.Fatalf("int8 footprint %d B is not a multiple smaller than float64 %d B", res.QuantBytes, res.FloatBytes)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("got %d timing cells, want 4", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.NsPerWindow <= 0 {
+			t.Fatalf("cell %s/B=%d has non-positive timing %v", c.Path, c.Batch, c.NsPerWindow)
+		}
+	}
+	if rows := res.CSV(); len(rows) != 1+len(res.Cells) {
+		t.Fatalf("CSV has %d rows, want %d", len(rows), 1+len(res.Cells))
+	}
+	if out := res.Render(); !strings.Contains(out, "int8") || !strings.Contains(out, "tolerance") {
+		t.Fatalf("render missing expected content:\n%s", out)
+	}
+}

@@ -39,6 +39,20 @@ func FromSlice(rows, cols int, data []float64) *Dense {
 	return m
 }
 
+// Wrap returns a rows×cols matrix backed directly by data (no copy), which
+// must have exactly rows*cols elements in row-major order. Mutating the
+// matrix mutates data and vice versa; workspace arenas use it to reshape a
+// pooled buffer without allocating.
+func Wrap(rows, cols int, data []float64) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", rows, cols))
+	}
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: Wrap got %d elements for %dx%d", len(data), rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: data}
+}
+
 // Dims returns the dimensions of m.
 func (m *Dense) Dims() (rows, cols int) { return m.rows, m.cols }
 

@@ -1,0 +1,415 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"predstream/internal/mat"
+)
+
+// Int8 fixed-point quantized inference: weights are quantized once per
+// tensor (symmetric, scale = maxAbs/127), activations dynamically per row
+// at each matmul (the standard dynamic-quantization scheme). Accumulation
+// is int32; biases and nonlinearities stay float64. The quantized model is
+// ~8× smaller in weight bytes and serves the micro-batching prediction
+// server's low-memory forward path; E14 measures the accuracy delta.
+
+// QuantTensor is an int8-quantized weight matrix with one float scale for
+// the whole tensor: float value ≈ Scale × int8 value.
+type QuantTensor struct {
+	Rows, Cols int
+	Scale      float64
+	Data       []int8
+}
+
+// QuantizeTensor quantizes m symmetrically to int8 with a per-tensor
+// scale. An all-zero tensor gets scale 1 so Dequantize returns zeros.
+func QuantizeTensor(m *mat.Dense) *QuantTensor {
+	rows, cols := m.Dims()
+	q := &QuantTensor{Rows: rows, Cols: cols, Data: make([]int8, rows*cols)}
+	q.Scale = m.MaxAbs() / 127
+	if q.Scale == 0 {
+		q.Scale = 1
+	}
+	for i, v := range m.Data() {
+		q.Data[i] = roundInt8(v / q.Scale)
+	}
+	return q
+}
+
+// Dequantize reconstructs the float tensor (with quantization error ≤
+// Scale/2 per element).
+func (q *QuantTensor) Dequantize() *mat.Dense {
+	m := mat.New(q.Rows, q.Cols)
+	d := m.Data()
+	for i, v := range q.Data {
+		d[i] = float64(v) * q.Scale
+	}
+	return m
+}
+
+func roundInt8(v float64) int8 {
+	r := math.Round(v)
+	if r > 127 {
+		r = 127
+	}
+	if r < -127 {
+		r = -127
+	}
+	return int8(r)
+}
+
+// quantCell is one quantized recurrent layer (weights only; biases float).
+type quantCell struct {
+	kind       string // "lstm" or "gru"
+	in, hidden int
+	wx, wh     []*QuantTensor
+	b          [][]float64
+}
+
+// quantDense is one quantized dense layer.
+type quantDense struct {
+	in, out int
+	w       *QuantTensor
+	b       []float64
+	act     Activation
+}
+
+// QuantNetwork is an int8-quantized, inference-only copy of a Network.
+// Build one with Quantize; evaluate with NewRunner (batched, pooled
+// workspaces, safe for concurrent use).
+type QuantNetwork struct {
+	in, out int
+	cells   []quantCell
+	head    []quantDense
+}
+
+// Quantize builds an int8 inference copy of net. The original network is
+// read once and not retained.
+func Quantize(net *Network) *QuantNetwork {
+	q := &QuantNetwork{in: net.InSize(), out: net.OutSize()}
+	for _, l := range net.Recurrent {
+		wx, wh, b := l.Weights()
+		cell := quantCell{kind: l.CellType(), in: l.InSize(), hidden: l.HiddenSize()}
+		for g := range wx {
+			cell.wx = append(cell.wx, QuantizeTensor(wx[g]))
+			cell.wh = append(cell.wh, QuantizeTensor(wh[g]))
+			bias := make([]float64, cell.hidden)
+			copy(bias, b[g].Data())
+			cell.b = append(cell.b, bias)
+		}
+		q.cells = append(q.cells, cell)
+	}
+	for _, d := range net.Head {
+		w, b := d.Weights()
+		bias := make([]float64, d.Out)
+		copy(bias, b.Data())
+		q.head = append(q.head, quantDense{in: d.In, out: d.Out, w: QuantizeTensor(w), b: bias, act: d.Act})
+	}
+	return q
+}
+
+// InSize returns the expected per-timestep feature count.
+func (q *QuantNetwork) InSize() int { return q.in }
+
+// OutSize returns the output vector length.
+func (q *QuantNetwork) OutSize() int { return q.out }
+
+// WeightBytes returns the total weight payload in bytes (int8 tensors
+// only, excluding float biases) — the footprint E14 reports against the
+// float64 model's 8× larger one.
+func (q *QuantNetwork) WeightBytes() int {
+	n := 0
+	for _, c := range q.cells {
+		for g := range c.wx {
+			n += len(c.wx[g].Data) + len(c.wh[g].Data)
+		}
+	}
+	for _, d := range q.head {
+		n += len(d.w.Data)
+	}
+	return n
+}
+
+// QuantRunner evaluates a QuantNetwork over micro-batches, mirroring
+// BatchRunner: per-timestep int8 GEMMs across the batch with pooled
+// workspaces. Safe for concurrent use.
+type QuantRunner struct {
+	net  *QuantNetwork
+	opts BatchOptions
+	pool sync.Pool // *quantWS
+}
+
+// NewRunner returns a pooled batched evaluator over q.
+func (q *QuantNetwork) NewRunner(opts BatchOptions) *QuantRunner {
+	r := &QuantRunner{net: q, opts: opts}
+	r.pool.New = func() any { return &quantWS{} }
+	return r
+}
+
+// qbuf is a grow-only int8 arena for quantized activation rows.
+type qbuf struct {
+	data  []int8
+	scale []float64
+}
+
+func (b *qbuf) ensure(rows, cols int) {
+	if cap(b.data) < rows*cols {
+		b.data = make([]int8, rows*cols)
+	}
+	b.data = b.data[:rows*cols]
+	if cap(b.scale) < rows {
+		b.scale = make([]float64, rows)
+	}
+	b.scale = b.scale[:rows]
+}
+
+// quantWS is one pooled quantized-forward workspace.
+type quantWS struct {
+	bank [2][]buf // float activations per timestep, like batchWS
+	gate []buf
+	st   []buf
+	head [2]buf
+	xq   qbuf // quantized input rows for the current step
+	hq   qbuf // quantized hidden rows for the current step
+}
+
+func (w *quantWS) bankBuf(bank, t int) *buf {
+	for len(w.bank[bank]) <= t {
+		w.bank[bank] = append(w.bank[bank], buf{})
+	}
+	return &w.bank[bank][t]
+}
+
+func (w *quantWS) gateBuf(i int) *buf {
+	for len(w.gate) <= i {
+		w.gate = append(w.gate, buf{})
+	}
+	return &w.gate[i]
+}
+
+func (w *quantWS) stBuf(i int) *buf {
+	for len(w.st) <= i {
+		w.st = append(w.st, buf{})
+	}
+	return &w.st[i]
+}
+
+// quantizeRows quantizes each row of x dynamically (per-row symmetric
+// scale) into dst.
+//
+//dsps:hotpath
+func quantizeRows(dst *qbuf, x *mat.Dense) {
+	rows, cols := x.Dims()
+	dst.ensure(rows, cols)
+	data := x.Data()
+	for r := 0; r < rows; r++ {
+		row := data[r*cols : (r+1)*cols]
+		var maxAbs float64
+		for _, v := range row {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := maxAbs / 127
+		if scale == 0 {
+			scale = 1
+		}
+		dst.scale[r] = scale
+		out := dst.data[r*cols : (r+1)*cols]
+		inv := 1 / scale
+		for i, v := range row {
+			out[i] = roundInt8(v * inv)
+		}
+	}
+}
+
+// quantMulMat computes dst(+)= xq · wᵀ dequantized: for each row r,
+// dst[r][i] (+)= w.Scale × xq.scale[r] × Σ_k w[i][k]·xq[r][k], with int32
+// accumulation. add selects += over =.
+//
+//dsps:hotpath
+func quantMulMat(dst *mat.Dense, w *QuantTensor, xq *qbuf, add bool) {
+	B := dst.Rows()
+	cols := w.Cols
+	dd := dst.Data()
+	for r := 0; r < B; r++ {
+		xrow := xq.data[r*cols : (r+1)*cols]
+		drow := dd[r*w.Rows : (r+1)*w.Rows]
+		s := w.Scale * xq.scale[r]
+		for i := 0; i < w.Rows; i++ {
+			wrow := w.Data[i*cols : (i+1)*cols]
+			var acc int32
+			for k, wv := range wrow {
+				acc += int32(wv) * int32(xrow[k])
+			}
+			if add {
+				drow[i] += float64(acc) * s
+			} else {
+				drow[i] = float64(acc) * s
+			}
+		}
+	}
+}
+
+// Forward mirrors BatchRunner.Forward on the quantized network: it fills
+// dst[i] with the output vector for seqs[i]. Same shape contract.
+func (r *QuantRunner) Forward(seqs [][][]float64, dst [][]float64) error {
+	B := len(seqs)
+	if B == 0 {
+		return fmt.Errorf("nn: quant forward on empty batch")
+	}
+	if len(dst) != B {
+		return fmt.Errorf("nn: quant forward got %d outputs for %d sequences", len(dst), B)
+	}
+	T := len(seqs[0])
+	if T == 0 {
+		return fmt.Errorf("nn: quant forward on empty sequence")
+	}
+	for b, seq := range seqs {
+		if len(seq) != T {
+			return fmt.Errorf("nn: quant sequence %d has %d steps, want %d", b, len(seq), T)
+		}
+		for t, row := range seq {
+			if len(row) != r.net.in {
+				return fmt.Errorf("nn: quant sequence %d step %d has %d features, want %d", b, t, len(row), r.net.in)
+			}
+		}
+		if len(dst[b]) != r.net.out {
+			return fmt.Errorf("nn: quant output %d has %d elements, want %d", b, len(dst[b]), r.net.out)
+		}
+	}
+
+	ws := r.pool.Get().(*quantWS)
+	defer r.pool.Put(ws)
+
+	cur := 0
+	for t := 0; t < T; t++ {
+		x := ws.bankBuf(cur, t).mat(B, r.net.in)
+		for b := 0; b < B; b++ {
+			row := x.Data()[b*r.net.in : (b+1)*r.net.in]
+			if r.opts.PreScale != nil {
+				r.opts.PreScale(row, seqs[b][t])
+			} else {
+				copy(row, seqs[b][t])
+			}
+		}
+	}
+
+	for ci := range r.net.cells {
+		next := 1 - cur
+		cell := &r.net.cells[ci]
+		switch cell.kind {
+		case "lstm":
+			quantLSTMForward(cell, ws, cur, next, B, T)
+		case "gru":
+			quantGRUForward(cell, ws, cur, next, B, T)
+		default:
+			return fmt.Errorf("nn: quant forward: unsupported cell %q", cell.kind)
+		}
+		cur = next
+	}
+
+	h := ws.bankBuf(cur, T-1).mat(B, r.net.cells[len(r.net.cells)-1].hidden)
+	ping := 0
+	for i := range r.net.head {
+		d := &r.net.head[i]
+		y := ws.head[ping].mat(B, d.out)
+		quantizeRows(&ws.xq, h)
+		quantMulMat(y, d.w, &ws.xq, false)
+		addBiasRows(y, d.b)
+		if d.act.Name != "identity" {
+			applyVec(y.Data(), d.act.F)
+		}
+		h = y
+		ping = 1 - ping
+	}
+	for b := 0; b < B; b++ {
+		copy(dst[b], h.Data()[b*r.net.out:(b+1)*r.net.out])
+	}
+	return nil
+}
+
+// ForwardOne is Forward for a single sequence.
+func (r *QuantRunner) ForwardOne(seq [][]float64, dst []float64) error {
+	return r.Forward([][][]float64{seq}, [][]float64{dst})
+}
+
+// quantLSTMForward is the int8 analogue of lstmForwardBatch: x and hPrev
+// rows are quantized once per timestep and reused across all four gates.
+//
+//dsps:hotpath
+func quantLSTMForward(l *quantCell, ws *quantWS, cur, next, B, T int) {
+	hPrev := ws.stBuf(0).zeroMat(B, l.hidden)
+	cPrev := ws.stBuf(1).zeroMat(B, l.hidden)
+	c := ws.stBuf(2).mat(B, l.hidden)
+	tanhC := ws.stBuf(3).mat(B, l.hidden)
+	for t := 0; t < T; t++ {
+		x := ws.bankBuf(cur, t).mat(B, l.in)
+		quantizeRows(&ws.xq, x)
+		quantizeRows(&ws.hq, hPrev)
+		var z [numGates]*mat.Dense
+		for g := 0; g < numGates; g++ {
+			z[g] = ws.gateBuf(g).mat(B, l.hidden)
+			quantMulMat(z[g], l.wx[g], &ws.xq, false)
+			quantMulMat(z[g], l.wh[g], &ws.hq, true)
+			addBiasRows(z[g], l.b[g])
+		}
+		sigmoidVec(z[gateF].Data())
+		sigmoidVec(z[gateI].Data())
+		tanhVec(z[gateG].Data())
+		sigmoidVec(z[gateO].Data())
+		h := ws.bankBuf(next, t).mat(B, l.hidden)
+		fd, id, gd, od := z[gateF].Data(), z[gateI].Data(), z[gateG].Data(), z[gateO].Data()
+		cd, cp, tc, hd := c.Data(), cPrev.Data(), tanhC.Data(), h.Data()
+		for i := range cd {
+			cd[i] = fd[i]*cp[i] + id[i]*gd[i]
+		}
+		tanhVecTo(tc, cd)
+		for i := range hd {
+			hd[i] = od[i] * tc[i]
+		}
+		hPrev = h
+		c, cPrev = cPrev, c
+	}
+}
+
+// quantGRUForward is the int8 analogue of gruForwardBatch.
+//
+//dsps:hotpath
+func quantGRUForward(g *quantCell, ws *quantWS, cur, next, B, T int) {
+	hPrev := ws.stBuf(0).zeroMat(B, g.hidden)
+	a := ws.stBuf(1).mat(B, g.hidden)
+	for t := 0; t < T; t++ {
+		x := ws.bankBuf(cur, t).mat(B, g.in)
+		quantizeRows(&ws.xq, x)
+		quantizeRows(&ws.hq, hPrev)
+		z := ws.gateBuf(0).mat(B, g.hidden)
+		rr := ws.gateBuf(1).mat(B, g.hidden)
+		hHat := ws.gateBuf(2).mat(B, g.hidden)
+		quantMulMat(z, g.wx[gruZ], &ws.xq, false)
+		quantMulMat(z, g.wh[gruZ], &ws.hq, true)
+		addBiasRows(z, g.b[gruZ])
+		quantMulMat(rr, g.wx[gruR], &ws.xq, false)
+		quantMulMat(rr, g.wh[gruR], &ws.hq, true)
+		addBiasRows(rr, g.b[gruR])
+		sigmoidVec(z.Data())
+		sigmoidVec(rr.Data())
+		ad, rd, hp := a.Data(), rr.Data(), hPrev.Data()
+		for i := range ad {
+			ad[i] = rd[i] * hp[i]
+		}
+		quantizeRows(&ws.hq, a)
+		quantMulMat(hHat, g.wx[gruH], &ws.xq, false)
+		quantMulMat(hHat, g.wh[gruH], &ws.hq, true)
+		addBiasRows(hHat, g.b[gruH])
+		tanhVec(hHat.Data())
+		h := ws.bankBuf(next, t).mat(B, g.hidden)
+		hd, zd, hh := h.Data(), z.Data(), hHat.Data()
+		for i := range hd {
+			hd[i] = (1-zd[i])*hp[i] + zd[i]*hh[i]
+		}
+		hPrev = h
+	}
+}

@@ -1,0 +1,198 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"predstream/internal/mat"
+)
+
+// TestQuantizeTensorRoundTrip is the per-layer property test: for any
+// tensor, quantize→dequantize error is bounded by Scale/2 per element, and
+// the scale is maxAbs/127 (symmetric scheme).
+func TestQuantizeTensorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		rows := 1 + rng.Intn(40)
+		cols := 1 + rng.Intn(40)
+		m := mat.New(rows, cols)
+		switch trial % 3 {
+		case 0:
+			m.RandUniform(rng, math.Pow(10, float64(rng.Intn(7)-3)))
+		case 1:
+			m.RandXavier(rng)
+		case 2: // leave zero: degenerate all-zero tensor
+		}
+		q := QuantizeTensor(m)
+		if wantScale := m.MaxAbs() / 127; m.MaxAbs() > 0 && q.Scale != wantScale {
+			t.Fatalf("trial %d: scale %v, want %v", trial, q.Scale, wantScale)
+		}
+		back := q.Dequantize()
+		bound := q.Scale/2 + 1e-12
+		for i, v := range m.Data() {
+			if diff := math.Abs(v - back.Data()[i]); diff > bound {
+				t.Fatalf("trial %d: round-trip error %v exceeds scale/2 = %v", trial, diff, bound)
+			}
+		}
+	}
+}
+
+// TestQuantizeTensorSaturation pins the clamp: values beyond ±maxAbs
+// cannot appear, and the extreme element maps to ±127 exactly.
+func TestQuantizeTensorSaturation(t *testing.T) {
+	m := mat.FromSlice(1, 3, []float64{-2.54, 0, 2.54})
+	q := QuantizeTensor(m)
+	if q.Data[0] != -127 || q.Data[1] != 0 || q.Data[2] != 127 {
+		t.Fatalf("unexpected codes %v", q.Data)
+	}
+}
+
+// TestQuantForwardCloseToFloat is the end-to-end property test at the nn
+// level: for random (untrained) LSTM and GRU stacks the int8 forward stays
+// within a small tolerance of the float64 forward. The fitted-model,
+// seed-corpus variant with the golden-pinned max |Δ| lives in
+// internal/drnn (TestInferenceQuantizedGolden).
+func TestQuantForwardCloseToFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for ai, arch := range testArchs() {
+		net := NewNetwork(arch, rng)
+		float := NewBatchRunner(net, BatchOptions{})
+		quant := Quantize(net).NewRunner(BatchOptions{})
+		const B = 6
+		seqs := randSeqs(rng, B, 9, arch.In)
+		fOut := make([][]float64, B)
+		qOut := make([][]float64, B)
+		for i := range fOut {
+			fOut[i] = make([]float64, arch.Out)
+			qOut[i] = make([]float64, arch.Out)
+		}
+		if err := float.Forward(seqs, fOut); err != nil {
+			t.Fatal(err)
+		}
+		if err := quant.Forward(seqs, qOut); err != nil {
+			t.Fatal(err)
+		}
+		for b := 0; b < B; b++ {
+			for j := range fOut[b] {
+				diff := math.Abs(fOut[b][j] - qOut[b][j])
+				if diff > 0.05 {
+					t.Fatalf("arch %d seq %d out %d: |float-int8| = %v (float %v, int8 %v)",
+						ai, b, j, diff, fOut[b][j], qOut[b][j])
+				}
+			}
+		}
+	}
+}
+
+// TestQuantRunnerBatchInvariance pins that the quantized batched path is
+// batch-size invariant: evaluating a window alone or inside a batch gives
+// identical results (per-row dynamic scales make rows independent).
+func TestQuantRunnerBatchInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	arch := Arch{In: 5, LSTMHidden: []int{12}, DenseHidden: []int{6}, Out: 1}
+	runner := Quantize(NewNetwork(arch, rng)).NewRunner(BatchOptions{})
+	const B = 7
+	seqs := randSeqs(rng, B, 8, arch.In)
+	batched := make([][]float64, B)
+	for i := range batched {
+		batched[i] = make([]float64, 1)
+	}
+	if err := runner.Forward(seqs, batched); err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < B; b++ {
+		solo := []float64{0}
+		if err := runner.ForwardOne(seqs[b], solo); err != nil {
+			t.Fatal(err)
+		}
+		if solo[0] != batched[b][0] {
+			t.Fatalf("seq %d: solo %v != batched %v", b, solo[0], batched[b][0])
+		}
+	}
+}
+
+// TestQuantWeightBytes pins the 8× weight-footprint reduction claim.
+func TestQuantWeightBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	arch := Arch{In: 9, LSTMHidden: []int{32, 32}, DenseHidden: []int{16}, Out: 1}
+	net := NewNetwork(arch, rng)
+	q := Quantize(net)
+	floatBytes := 0
+	for _, p := range net.Params() {
+		r, c := p.W.Dims()
+		if c == 1 { // biases stay float in the quantized model
+			continue
+		}
+		floatBytes += 8 * r * c
+	}
+	if got := 8 * q.WeightBytes(); got != floatBytes {
+		t.Fatalf("quantized weight bytes ×8 = %d, want float weight bytes %d", got, floatBytes)
+	}
+}
+
+// TestQuantRunnerConcurrent exercises the pooled quant workspaces under
+// -race.
+func TestQuantRunnerConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	arch := Arch{In: 4, LSTMHidden: []int{8}, Out: 1, Cell: "gru"}
+	runner := Quantize(NewNetwork(arch, rng)).NewRunner(BatchOptions{})
+	const workers = 6
+	seqs := make([][][][]float64, workers)
+	want := make([]float64, workers)
+	for w := range seqs {
+		seqs[w] = randSeqs(rng, 2, 5, arch.In)
+		out := [][]float64{{0}, {0}}
+		if err := runner.Forward(seqs[w], out); err != nil {
+			t.Fatal(err)
+		}
+		want[w] = out[0][0]
+	}
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			dst := [][]float64{{0}, {0}}
+			for i := 0; i < 25; i++ {
+				if err := runner.Forward(seqs[w], dst); err != nil {
+					done <- err
+					return
+				}
+				if dst[0][0] != want[w] {
+					done <- fmt.Errorf("worker %d: got %v want %v", w, dst[0][0], want[w])
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuantForward measures the int8 batched forward at the serving
+// shape, for the E14 throughput comparison.
+func BenchmarkQuantForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	arch := Arch{In: 9, LSTMHidden: []int{32, 32}, DenseHidden: []int{16}, Out: 1}
+	runner := Quantize(NewNetwork(arch, rng)).NewRunner(BatchOptions{})
+	for _, B := range []int{1, 8, 32} {
+		seqs := randSeqs(rng, B, 10, arch.In)
+		dst := make([][]float64, B)
+		for i := range dst {
+			dst[i] = make([]float64, 1)
+		}
+		b.Run(fmt.Sprintf("B%d", B), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := runner.Forward(seqs, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*B), "ns/window")
+		})
+	}
+}

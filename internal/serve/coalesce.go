@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"predstream/internal/obs"
+)
+
+// request is one admitted prediction waiting for its batch. The reply
+// channel is buffered so the dispatcher's send never blocks on a caller
+// that gave up (context cancellation).
+type request struct {
+	window [][]float64
+	start  time.Time
+	reply  chan result
+}
+
+type result struct {
+	value float64
+	err   error
+}
+
+// Coalescer admits prediction requests into a bounded queue and batches
+// them for the backend: a batch flushes as soon as it reaches
+// Options.MaxBatch or when its oldest request has waited
+// Options.FlushInterval, whichever comes first. A full queue sheds new
+// requests with ErrOverloaded instead of building unbounded latency. All
+// methods are safe for concurrent use.
+type Coalescer struct {
+	backend Backend
+	opts    Options
+	m       *Metrics
+
+	queue chan *request
+	stop  chan struct{}
+	done  chan struct{}
+
+	mu     sync.RWMutex // guards closed against enqueue-after-drain
+	closed bool
+}
+
+// NewCoalescer starts the dispatcher goroutine over backend. A nil metrics
+// installs unregistered instruments (counted but not exported). Call Close
+// to stop.
+func NewCoalescer(backend Backend, opts Options, m *Metrics) *Coalescer {
+	opts = opts.withDefaults()
+	if m == nil {
+		m = NewMetrics(nil)
+	}
+	c := &Coalescer{
+		backend: backend,
+		opts:    opts,
+		m:       m,
+		queue:   make(chan *request, opts.QueueDepth),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go c.dispatch()
+	return c
+}
+
+// Options returns the effective (defaulted) options.
+func (c *Coalescer) Options() Options { return c.opts }
+
+// Predict submits one raw feature window and blocks until its batch is
+// evaluated, the context is done, or the request is shed. The window must
+// be backend.Window() steps of backend.Features() values.
+func (c *Coalescer) Predict(ctx context.Context, window [][]float64) (float64, error) {
+	if len(window) != c.backend.Window() {
+		return 0, fmt.Errorf("serve: window has %d steps, want %d", len(window), c.backend.Window())
+	}
+	for t, row := range window {
+		if len(row) != c.backend.Features() {
+			return 0, fmt.Errorf("serve: window step %d has %d features, want %d",
+				t, len(row), c.backend.Features())
+		}
+	}
+	req := &request{window: window, start: time.Now(), reply: make(chan result, 1)}
+
+	// The read lock pairs with Close's write lock: once Close observes the
+	// lock free, no admit can race past the drained queue.
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return 0, ErrClosed
+	}
+	admitted := false
+	select {
+	case c.queue <- req:
+		admitted = true
+	default:
+	}
+	c.mu.RUnlock()
+	if !admitted {
+		c.m.Shed.Inc()
+		return 0, ErrOverloaded
+	}
+	c.m.Admitted.Inc()
+
+	select {
+	case res := <-req.reply:
+		if res.err != nil {
+			return 0, res.err
+		}
+		c.m.Latency.Observe(time.Since(req.start).Seconds())
+		return res.value, nil
+	case <-ctx.Done():
+		// The dispatcher still evaluates the request; the buffered reply
+		// just goes unread.
+		return 0, ctx.Err()
+	}
+}
+
+// Close stops admitting, flushes every queued request, waits for the
+// dispatcher to exit, and is idempotent.
+func (c *Coalescer) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.done
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.stop)
+	<-c.done
+}
+
+// dispatch is the single consumer of the queue: it gathers batches and
+// hands them to the backend.
+func (c *Coalescer) dispatch() {
+	defer close(c.done)
+	batch := make([]*request, 0, c.opts.MaxBatch)
+	windows := make([][][]float64, 0, c.opts.MaxBatch)
+	out := make([]float64, c.opts.MaxBatch)
+	timer := time.NewTimer(c.opts.FlushInterval)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		// Wait for the batch opener.
+		select {
+		case req := <-c.queue:
+			batch = append(batch[:0], req)
+		case <-c.stop:
+			c.drain(batch[:0], windows, out)
+			return
+		}
+		// Fill until full or the opener has waited FlushInterval.
+		timer.Reset(c.opts.FlushInterval)
+		filling := true
+		for filling && len(batch) < c.opts.MaxBatch {
+			select {
+			case req := <-c.queue:
+				batch = append(batch, req)
+			case <-timer.C:
+				filling = false
+			case <-c.stop:
+				filling = false
+			}
+		}
+		if filling && !timer.Stop() {
+			<-timer.C
+		}
+		c.flush(batch, windows, out)
+	}
+}
+
+// drain flushes everything left in the queue at shutdown in MaxBatch
+// chunks.
+func (c *Coalescer) drain(batch []*request, windows [][][]float64, out []float64) {
+	for {
+		select {
+		case req := <-c.queue:
+			batch = append(batch, req)
+			if len(batch) == c.opts.MaxBatch {
+				c.flush(batch, windows, out)
+				batch = batch[:0]
+			}
+		default:
+			if len(batch) > 0 {
+				c.flush(batch, windows, out)
+			}
+			return
+		}
+	}
+}
+
+// flush evaluates one micro-batch and delivers per-request results.
+func (c *Coalescer) flush(batch []*request, windows [][][]float64, out []float64) {
+	windows = windows[:0]
+	for _, req := range batch {
+		windows = append(windows, req.window)
+	}
+	err := c.backend.PredictBatch(windows, out[:len(batch)])
+	c.m.Batches.Inc()
+	c.m.BatchSize.Observe(float64(len(batch)))
+	if err != nil {
+		c.m.Errors.Add(uint64(len(batch)))
+	}
+	for i, req := range batch {
+		if err != nil {
+			req.reply <- result{err: fmt.Errorf("serve: backend: %w", err)}
+		} else {
+			req.reply <- result{value: out[i]}
+		}
+	}
+}
+
+// Collect implements obs.Collector with point-in-time queue pressure
+// gauges; register the Coalescer itself to export them.
+func (c *Coalescer) Collect() []obs.Family {
+	return []obs.Family{
+		{
+			Name:    "predstream_serve_queue_depth",
+			Help:    "Admitted requests waiting to be batched.",
+			Type:    obs.TypeGauge,
+			Samples: []obs.Sample{{Value: float64(len(c.queue))}},
+		},
+		{
+			Name:    "predstream_serve_queue_capacity",
+			Help:    "Admission queue capacity; requests beyond it are shed.",
+			Type:    obs.TypeGauge,
+			Samples: []obs.Sample{{Value: float64(cap(c.queue))}},
+		},
+	}
+}

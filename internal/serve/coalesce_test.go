@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubBackend echoes window[0][0] as the prediction, so tests can verify
+// each caller gets its own answer back. It records every batch size and
+// can be gated to hold the dispatcher inside a forward pass.
+type stubBackend struct {
+	window   int
+	features int
+
+	mu      sync.Mutex
+	batches []int
+
+	calls atomic.Int64
+	gate  chan struct{} // when non-nil, PredictBatch waits for one token per call
+	fail  atomic.Bool
+}
+
+func newStubBackend(window, features int) *stubBackend {
+	return &stubBackend{window: window, features: features}
+}
+
+func (s *stubBackend) Window() int   { return s.window }
+func (s *stubBackend) Features() int { return s.features }
+
+func (s *stubBackend) PredictBatch(windows [][][]float64, out []float64) error {
+	s.calls.Add(1)
+	if s.gate != nil {
+		<-s.gate
+	}
+	if s.fail.Load() {
+		return errors.New("stub backend failure")
+	}
+	s.mu.Lock()
+	s.batches = append(s.batches, len(windows))
+	s.mu.Unlock()
+	for i, w := range windows {
+		out[i] = w[0][0]
+	}
+	return nil
+}
+
+func (s *stubBackend) batchSizes() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, len(s.batches))
+	copy(out, s.batches)
+	return out
+}
+
+// testWindow builds a valid window carrying id in position [0][0].
+func testWindow(window, features int, id float64) [][]float64 {
+	w := make([][]float64, window)
+	for t := range w {
+		w[t] = make([]float64, features)
+	}
+	w[0][0] = id
+	return w
+}
+
+// TestCoalescerSingleRequestFlushesAtInterval pins the no-starvation
+// guarantee: a lone request is answered after FlushInterval without
+// waiting for a full batch.
+func TestCoalescerSingleRequestFlushesAtInterval(t *testing.T) {
+	b := newStubBackend(3, 2)
+	c := NewCoalescer(b, Options{MaxBatch: 64, FlushInterval: 5 * time.Millisecond, QueueDepth: 8}, nil)
+	defer c.Close()
+	start := time.Now()
+	got, err := c.Predict(context.Background(), testWindow(3, 2, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("prediction %v, want 42", got)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("lone request took %v; starvation?", elapsed)
+	}
+	if sizes := b.batchSizes(); len(sizes) != 1 || sizes[0] != 1 {
+		t.Fatalf("batch sizes %v, want [1]", sizes)
+	}
+}
+
+// TestCoalescerFullBatchFlushesImmediately pins the opposite bound: with a
+// long flush interval, MaxBatch concurrent requests complete in one batch
+// long before the timer.
+func TestCoalescerFullBatchFlushesImmediately(t *testing.T) {
+	const B = 8
+	b := newStubBackend(2, 1)
+	// Gate the backend so the first request cannot be flushed alone
+	// before the rest arrive: the opener blocks inside PredictBatch only
+	// after its batch is sealed, so instead hold the gate closed until
+	// all B are enqueued.
+	b.gate = make(chan struct{})
+	c := NewCoalescer(b, Options{MaxBatch: B, FlushInterval: time.Hour, QueueDepth: 2 * B}, nil)
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, B)
+	for i := 0; i < B; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := c.Predict(context.Background(), testWindow(2, 1, float64(i)))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got != float64(i) {
+				errs <- fmt.Errorf("request %d got %v", i, got)
+			}
+		}(i)
+	}
+	// With FlushInterval=1h the only way the dispatcher calls the backend
+	// before the gate opens is a full batch. Wait for that call, then
+	// release it.
+	deadline := time.Now().Add(5 * time.Second)
+	for b.calls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dispatcher never flushed a full batch")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(b.gate)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if sizes := b.batchSizes(); len(sizes) != 1 || sizes[0] != B {
+		t.Fatalf("batch sizes %v, want [%d]", sizes, B)
+	}
+}
+
+// TestCoalescerConcurrentCallersGetOwnRows pins result wiring under -race:
+// many goroutines submit distinct ids and every reply must carry the
+// caller's own id.
+func TestCoalescerConcurrentCallersGetOwnRows(t *testing.T) {
+	b := newStubBackend(4, 3)
+	c := NewCoalescer(b, Options{MaxBatch: 7, FlushInterval: 200 * time.Microsecond, QueueDepth: 1024}, nil)
+	defer c.Close()
+	const N = 300
+	var wg sync.WaitGroup
+	errs := make(chan error, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := c.Predict(context.Background(), testWindow(4, 3, float64(i)))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got != float64(i) {
+				errs <- fmt.Errorf("request %d got %v — cross-wired reply", i, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range b.batchSizes() {
+		if s < 1 || s > 7 {
+			t.Fatalf("batch size %d outside [1, MaxBatch]", s)
+		}
+		total += s
+	}
+	if total != N {
+		t.Fatalf("backend saw %d rows, want %d", total, N)
+	}
+}
+
+// TestCoalescerShedsWhenQueueFull pins admission control: with the
+// backend gated shut and the queue sized Q, at most Q+1 requests are in
+// flight (Q queued + the batch opener) and the rest shed immediately.
+func TestCoalescerShedsWhenQueueFull(t *testing.T) {
+	b := newStubBackend(2, 1)
+	b.gate = make(chan struct{})
+	const Q = 4
+	m := NewMetrics(nil)
+	c := NewCoalescer(b, Options{MaxBatch: 1, FlushInterval: time.Millisecond, QueueDepth: Q}, m)
+	defer c.Close()
+
+	// Occupy the dispatcher: one request opens a batch of 1 (MaxBatch=1)
+	// and blocks inside the gated backend.
+	opener := make(chan error, 1)
+	go func() {
+		_, err := c.Predict(context.Background(), testWindow(2, 1, 0))
+		opener <- err
+	}()
+	waitFor(t, func() bool { return b.calls.Load() == 1 })
+
+	// Fill the queue exactly.
+	var wg sync.WaitGroup
+	results := make(chan error, Q)
+	for i := 0; i < Q; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := c.Predict(context.Background(), testWindow(2, 1, float64(i+1)))
+			results <- err
+		}(i)
+	}
+	waitFor(t, func() bool { return m.Admitted.Value() == Q+1 })
+
+	// Every further request must shed synchronously.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Predict(context.Background(), testWindow(2, 1, 99)); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("expected ErrOverloaded, got %v", err)
+		}
+	}
+	if m.Shed.Value() != 3 {
+		t.Fatalf("shed counter %d, want 3", m.Shed.Value())
+	}
+
+	close(b.gate)
+	if err := <-opener; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(results)
+	for err := range results {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Admitted.Value() != Q+1 {
+		t.Fatalf("admitted %d, want %d", m.Admitted.Value(), Q+1)
+	}
+}
+
+// TestCoalescerContextCancel pins that an abandoned caller neither blocks
+// nor corrupts later requests (the buffered reply goes unread).
+func TestCoalescerContextCancel(t *testing.T) {
+	b := newStubBackend(2, 1)
+	b.gate = make(chan struct{})
+	c := NewCoalescer(b, Options{MaxBatch: 1, FlushInterval: time.Millisecond, QueueDepth: 4}, nil)
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for b.calls.Load() == 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		cancel()
+	}()
+	if _, err := c.Predict(ctx, testWindow(2, 1, 1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	close(b.gate)
+	// A fresh request must still work.
+	got, err := c.Predict(context.Background(), testWindow(2, 1, 7))
+	if err != nil || got != 7 {
+		t.Fatalf("post-cancel predict = %v, %v; want 7, nil", got, err)
+	}
+}
+
+// TestCoalescerBackendErrorPropagates pins that a failing forward pass
+// reaches every caller in the batch and bumps the error counter.
+func TestCoalescerBackendErrorPropagates(t *testing.T) {
+	b := newStubBackend(2, 1)
+	b.fail.Store(true)
+	m := NewMetrics(nil)
+	c := NewCoalescer(b, Options{MaxBatch: 4, FlushInterval: time.Millisecond, QueueDepth: 8}, m)
+	defer c.Close()
+	if _, err := c.Predict(context.Background(), testWindow(2, 1, 1)); err == nil {
+		t.Fatal("expected backend error")
+	}
+	if m.Errors.Value() == 0 {
+		t.Fatal("error counter not bumped")
+	}
+}
+
+// TestCoalescerShapeValidation pins synchronous rejection of wrong-shape
+// windows without touching the queue.
+func TestCoalescerShapeValidation(t *testing.T) {
+	b := newStubBackend(3, 2)
+	m := NewMetrics(nil)
+	c := NewCoalescer(b, Options{}, m)
+	defer c.Close()
+	if _, err := c.Predict(context.Background(), testWindow(2, 2, 1)); err == nil {
+		t.Fatal("expected step-count error")
+	}
+	if _, err := c.Predict(context.Background(), testWindow(3, 1, 1)); err == nil {
+		t.Fatal("expected feature-count error")
+	}
+	if m.Admitted.Value() != 0 || m.Shed.Value() != 0 {
+		t.Fatal("invalid requests must not count as admitted or shed")
+	}
+}
+
+// TestCoalescerCloseFlushesQueued pins graceful shutdown: requests queued
+// behind a gated backend still get answers when Close drains.
+func TestCoalescerCloseFlushesQueued(t *testing.T) {
+	b := newStubBackend(2, 1)
+	b.gate = make(chan struct{})
+	c := NewCoalescer(b, Options{MaxBatch: 2, FlushInterval: time.Millisecond, QueueDepth: 16}, nil)
+
+	const N = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := c.Predict(context.Background(), testWindow(2, 1, float64(i)))
+			if err == nil && got != float64(i) {
+				err = fmt.Errorf("request %d got %v", i, got)
+			}
+			errs <- err
+		}(i)
+	}
+	waitFor(t, func() bool { return b.calls.Load() >= 1 })
+	close(b.gate) // every later flush proceeds immediately
+	c.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After Close, new requests fail fast.
+	if _, err := c.Predict(context.Background(), testWindow(2, 1, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("expected ErrClosed, got %v", err)
+	}
+}
+
+// waitFor polls cond with a generous deadline; timing-dependent setup
+// only, never used to assert ordering.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

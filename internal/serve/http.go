@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// PredictRequest is the JSON body of POST /predict: one raw feature
+// window, Window()×Features().
+type PredictRequest struct {
+	Window [][]float64 `json:"window"`
+}
+
+// PredictResponse is the JSON body of a successful POST /predict.
+type PredictResponse struct {
+	Prediction float64 `json:"prediction"`
+}
+
+// errorResponse is the JSON body of every non-200 answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxHTTPBody bounds a /predict request body; matches the wire protocol's
+// largest frame.
+const maxHTTPBody = maxWireBody * 2
+
+// Handler returns the serving HTTP mux:
+//
+//	POST /predict   {"window": [[...], ...]} → {"prediction": x}
+//	GET  /healthz   liveness probe ("ok")
+//
+// Overload maps to 429 with a Retry-After hint; malformed bodies and
+// wrong-shape windows map to 400; shutdown maps to 503. Metrics live on
+// the obs server's /metrics, not here.
+func Handler(c *Coalescer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSONError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req PredictRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxHTTPBody))
+		if err := dec.Decode(&req); err != nil {
+			writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+			return
+		}
+		pred, err := c.Predict(r.Context(), req.Window)
+		switch {
+		case err == nil:
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(PredictResponse{Prediction: pred})
+		case errors.Is(err, ErrOverloaded):
+			w.Header().Set("Retry-After", "1")
+			writeJSONError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, ErrClosed):
+			writeJSONError(w, http.StatusServiceUnavailable, err.Error())
+		case r.Context().Err() != nil:
+			// Client went away; code is moot but 499-style close is tidy.
+			writeJSONError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			writeJSONError(w, http.StatusBadRequest, err.Error())
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"fmt"
+
+	"predstream/internal/obs"
+)
+
+// Metrics holds the serving instruments, exported as the
+// predstream_serve_* families (see docs/OBSERVABILITY.md). All instruments
+// are lock-free; observing them adds no contention to the request path.
+type Metrics struct {
+	// Admitted counts requests accepted into the queue
+	// (predstream_serve_requests_total).
+	Admitted *obs.Counter
+	// Shed counts requests rejected because the queue was full
+	// (predstream_serve_shed_total).
+	Shed *obs.Counter
+	// Errors counts requests that failed in the backend
+	// (predstream_serve_errors_total).
+	Errors *obs.Counter
+	// Batches counts backend forward passes
+	// (predstream_serve_batches_total).
+	Batches *obs.Counter
+	// BatchSize distributes flushed micro-batch sizes
+	// (predstream_serve_batch_size).
+	BatchSize *obs.Histogram
+	// Latency distributes end-to-end request latency in seconds,
+	// admission to reply (predstream_serve_latency_seconds).
+	Latency *obs.Histogram
+}
+
+// NewMetrics builds the serving instruments and, when reg is non-nil,
+// registers them together with a derived collector exporting
+// predstream_serve_latency_quantile_seconds{quantile="0.5"|"0.99"} gauges
+// computed from the latency histogram at scrape time.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{
+		Admitted: obs.NewCounter("predstream_serve_requests_total",
+			"Prediction requests admitted into the serving queue."),
+		Shed: obs.NewCounter("predstream_serve_shed_total",
+			"Prediction requests shed because the admission queue was full."),
+		Errors: obs.NewCounter("predstream_serve_errors_total",
+			"Admitted prediction requests that failed in the model backend."),
+		Batches: obs.NewCounter("predstream_serve_batches_total",
+			"Batched forward passes executed by the serving backend."),
+		BatchSize: obs.NewHistogram("predstream_serve_batch_size",
+			"Size of each flushed micro-batch.",
+			obs.ExponentialBounds(1, 2, 8)), // 1..128
+		Latency: obs.NewHistogram("predstream_serve_latency_seconds",
+			"End-to-end prediction latency from admission to reply.",
+			obs.ExponentialBounds(100e-6, 2, 16)), // 100µs .. ~3.3s
+	}
+	if reg != nil {
+		reg.Register(m.Admitted)
+		reg.Register(m.Shed)
+		reg.Register(m.Errors)
+		reg.Register(m.Batches)
+		reg.Register(m.BatchSize)
+		reg.Register(m.Latency)
+		reg.Register(obs.CollectorFunc(m.collectQuantiles))
+	}
+	return m
+}
+
+// collectQuantiles derives the SLO gauges from one latency snapshot so p50
+// and p99 are mutually consistent.
+func (m *Metrics) collectQuantiles() []obs.Family {
+	snap := m.Latency.Snapshot()
+	samples := make([]obs.Sample, 0, 2)
+	for _, q := range []float64{0.5, 0.99} {
+		samples = append(samples, obs.Sample{
+			Labels: []obs.Label{{Name: "quantile", Value: fmt.Sprintf("%g", q)}},
+			Value:  obs.QuantileOf(&snap, q),
+		})
+	}
+	return []obs.Family{{
+		Name:    "predstream_serve_latency_quantile_seconds",
+		Help:    "Request latency quantiles estimated from predstream_serve_latency_seconds.",
+		Type:    obs.TypeGauge,
+		Samples: samples,
+	}}
+}

@@ -29,7 +29,7 @@ done < <(git ls-files '*.md')
 
 echo "doccheck: exported symbols"
 if ! go run ./scripts/doccheck \
-  ./internal/dsps ./internal/telemetry ./internal/chaos ./internal/obs; then
+  ./internal/dsps ./internal/telemetry ./internal/chaos ./internal/obs ./internal/serve; then
   fail=1
 fi
 

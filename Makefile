@@ -24,10 +24,11 @@ test:
 
 # Race-detector pass over the concurrent packages: the data-parallel
 # training engine (internal/nn), the stream engine (internal/dsps), the
-# chaos harness that hammers it (internal/chaos), and the prediction
-# server's coalescer and load-test harness (internal/serve).
+# SPSC ring plane under it (internal/ring), the chaos harness that
+# hammers it (internal/chaos), and the prediction server's coalescer and
+# load-test harness (internal/serve).
 race:
-	$(GO) test -race ./internal/nn/... ./internal/dsps/... ./internal/chaos/... ./internal/serve/...
+	$(GO) test -race ./internal/nn/... ./internal/dsps/... ./internal/ring/... ./internal/chaos/... ./internal/serve/...
 
 ci:
 	sh scripts/ci.sh
@@ -40,6 +41,7 @@ soak-short:
 	$(GO) run ./cmd/dspsim -chaos -chaos-seed 1 -duration 4s -rate 300
 	$(GO) run ./cmd/dspsim -chaos -chaos-seed 2 -duration 4s -rate 300 -dynamic -control
 	$(GO) run ./cmd/dspsim -chaos -chaos-seed 7 -duration 4s -rate 800 -dynamic -control -elastic -shape burst
+	$(GO) run ./cmd/dspsim -chaos -chaos-seed 5 -duration 4s -rate 800 -dynamic -control -elastic -shape burst -ring-size 64 -wait-strategy hybrid
 
 # Full soak (~2min): a longer dspsim chaos replay plus the stretched
 # engine and controlled-bypass soak tests. CHAOS_SOAK_SECONDS widens the
@@ -54,6 +56,7 @@ fuzz-smoke:
 	$(GO) test -fuzz='^FuzzGroupingRatios$$' -run '^$$' -fuzztime 10s ./internal/dsps/
 	$(GO) test -fuzz='^FuzzHistogramQuantile$$' -run '^$$' -fuzztime 10s ./internal/dsps/
 	$(GO) test -fuzz='^FuzzAckerTrees$$' -run '^$$' -fuzztime 10s ./internal/dsps/
+	$(GO) test -fuzz='^FuzzRingBatchOps$$' -run '^$$' -fuzztime 10s ./internal/ring/
 	$(GO) test -fuzz='^FuzzServeWireFrame$$' -run '^$$' -fuzztime 10s ./internal/serve/
 
 bench:
@@ -91,6 +94,7 @@ bench-serve:
 # so they stay out of the CI gate.)
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkEngine|BenchmarkScale' -benchtime 1x -benchmem ./internal/dsps/
+	$(GO) test -run xxx -bench 'BenchmarkPushPop|BenchmarkBatch64' -benchtime 1x -benchmem ./internal/ring/
 	$(GO) test -run xxx -bench 'BenchmarkMulMatTo|BenchmarkMulVecToLoop' -benchtime 1x -benchmem ./internal/mat/
 	$(GO) test -run xxx -bench 'Benchmark(Batch|Serial|Quant)Forward' -benchtime 1x -benchmem ./internal/nn/
 	$(GO) test -run xxx -bench 'BenchmarkServe' -benchtime 1x -benchmem ./internal/serve/

@@ -62,6 +62,7 @@ func Analyzers() []*Analyzer {
 		GlobalRand,
 		LockedSend,
 		MapOrder,
+		RingMisuse,
 		SpliceSend,
 		WallTime,
 	}

@@ -149,15 +149,15 @@ func TestDeterministicMarking(t *testing.T) {
 // TestSelectAnalyzers covers the enable/disable flag plumbing.
 func TestSelectAnalyzers(t *testing.T) {
 	all, err := selectAnalyzers(nil, nil)
-	if err != nil || len(all) != 6 {
-		t.Fatalf("want all 6 analyzers, got %d (%v)", len(all), err)
+	if err != nil || len(all) != 7 {
+		t.Fatalf("want all 7 analyzers, got %d (%v)", len(all), err)
 	}
 	only, err := selectAnalyzers([]string{"walltime"}, nil)
 	if err != nil || len(only) != 1 || only[0].Name != "walltime" {
 		t.Fatalf("enable=walltime: got %v (%v)", only, err)
 	}
 	rest, err := selectAnalyzers(nil, []string{"walltime", "maporder"})
-	if err != nil || len(rest) != 4 {
+	if err != nil || len(rest) != 5 {
 		t.Fatalf("disable two: got %d (%v)", len(rest), err)
 	}
 	if _, err := selectAnalyzers([]string{"nope"}, nil); err == nil {

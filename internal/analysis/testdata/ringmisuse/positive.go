@@ -1,0 +1,87 @@
+// Package corpus is the ringmisuse analyzer's test corpus. It imports the
+// real ring package so the analyzer's type-identity match (a method on
+// ring.SPSC, any instantiation) is exercised, not a lookalike.
+package corpus
+
+import "predstream/internal/ring"
+
+type batch struct{ vals []int }
+
+type plane struct {
+	in  *ring.SPSC[batch]
+	ack *ring.SPSC[*[]int]
+}
+
+// strayPush is the bug the analyzer exists for: a second goroutine
+// pushing into a single-producer ring.
+func (p *plane) strayPush(b batch) {
+	p.in.Push(b) // want: ringmisuse
+}
+
+// strayPushBatch covers the batch variant and a second instantiation.
+func (p *plane) strayPushBatch(ops []*[]int) {
+	p.ack.PushBatch(ops) // want: ringmisuse
+}
+
+// strayClose: Close is producer-side — the consumer drains and prunes,
+// it never closes.
+func (p *plane) strayClose() {
+	p.in.Close() // want: ringmisuse
+}
+
+// strayPop is the consumer-side mirror.
+func (p *plane) strayPop() (batch, bool) {
+	return p.in.Pop() // want: ringmisuse
+}
+
+// strayPopBatch covers the batch variant.
+func (p *plane) strayPopBatch(dst []batch) int {
+	return p.in.PopBatch(dst) // want: ringmisuse
+}
+
+// wrongSide holds the consumer directive but pushes: still a violation.
+//
+//dsps:ringconsumer
+func (p *plane) wrongSide(b batch) {
+	for {
+		if p.in.Push(b) { // want: ringmisuse
+			return
+		}
+	}
+}
+
+// annotatedProducer is the engine's producer shape; must NOT be flagged.
+//
+//dsps:ringproducer
+func (p *plane) annotatedProducer(b batch) bool {
+	return p.in.Push(b)
+}
+
+// annotatedConsumer is the engine's consumer shape; must NOT be flagged.
+//
+//dsps:ringconsumer
+func (p *plane) annotatedConsumer(dst []batch) int {
+	return p.in.PopBatch(dst)
+}
+
+// retire carries both directives — the ownership-transfer shape where a
+// reclaimer closes and drains a ring after its executor exited.
+//
+//dsps:ringproducer
+//dsps:ringconsumer
+func (p *plane) retire() int {
+	p.in.Close()
+	lost := 0
+	for {
+		b, ok := p.in.Pop()
+		if !ok {
+			return lost
+		}
+		lost += len(b.vals)
+	}
+}
+
+// queries are free from any goroutine: both sides use them to park.
+func (p *plane) queries() (int, int, bool, bool) {
+	return p.in.Len(), p.in.Cap(), p.in.Empty(), p.in.Closed()
+}

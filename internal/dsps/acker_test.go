@@ -16,7 +16,7 @@ func TestAckerLinearChainCompletes(t *testing.T) {
 	// Spout emits edge e1; bolt A consumes e1 and produces e2; bolt B
 	// consumes e2 and produces nothing.
 	const root, e1, e2 = 100, 11, 22
-	a.register(root, e1, "m1", 0)
+	a.register(root, e1, "m1", 0, 0)
 	if _, done := a.transition(root, e1, []uint64{e2}); done {
 		t.Fatal("completed before leaf acked")
 	}
@@ -34,7 +34,7 @@ func TestAckerOutOfOrderTransitions(t *testing.T) {
 	// before the upstream transition that created its edge.
 	a := testAcker(time.Minute)
 	const root, e1, e2 = 200, 31, 32
-	a.register(root, e1, "m", 0)
+	a.register(root, e1, "m", 0, 0)
 	if _, done := a.transition(root, e2, nil); done { // leaf acks first
 		t.Fatal("completed on leaf alone")
 	}
@@ -49,7 +49,7 @@ func TestAckerFanOutTree(t *testing.T) {
 	// Spout emits two copies (e1, e2); each bolt copy emits two more.
 	const root = 300
 	edges := []uint64{1, 2, 3, 4, 5, 6}
-	a.register(root, edges[0]^edges[1], "m", 0)
+	a.register(root, edges[0]^edges[1], "m", 0, 0)
 	if _, done := a.transition(root, edges[0], []uint64{edges[2], edges[3]}); done {
 		t.Fatal("completed early")
 	}
@@ -68,7 +68,7 @@ func TestAckerFanOutTree(t *testing.T) {
 
 func TestAckerExplicitFail(t *testing.T) {
 	a := testAcker(time.Minute)
-	a.register(1, 5, "m", 3)
+	a.register(1, 5, "m", 0, 3)
 	r, done := a.fail(1)
 	if !done || r.ok || r.spoutTID != 3 {
 		t.Fatalf("result = %+v, done = %v", r, done)
@@ -84,9 +84,9 @@ func TestAckerExplicitFail(t *testing.T) {
 
 func TestAckerTimeoutSweep(t *testing.T) {
 	a := testAcker(10 * time.Millisecond)
-	a.register(1, 5, "old", 0)
+	a.register(1, 5, "old", 0, 0)
 	time.Sleep(20 * time.Millisecond)
-	a.register(2, 6, "fresh", 0)
+	a.register(2, 6, "fresh", 0, 0)
 	expired := a.sweep()
 	if len(expired) != 1 {
 		t.Fatalf("sweep failed %d roots, want 1", len(expired))
@@ -101,7 +101,7 @@ func TestAckerTimeoutSweep(t *testing.T) {
 
 func TestAckerSweepDisabledWithoutTimeout(t *testing.T) {
 	a := testAcker(0)
-	a.register(1, 5, "m", 0)
+	a.register(1, 5, "m", 0, 0)
 	if expired := a.sweep(); len(expired) != 0 {
 		t.Fatalf("sweep with no timeout failed %d", len(expired))
 	}
@@ -124,7 +124,7 @@ func TestAckerLatencyMeasured(t *testing.T) {
 		stepNs += int64(10 * time.Millisecond)
 		return stepNs
 	}
-	a.register(1, 5, "m", 0)           // now = +10ms
+	a.register(1, 5, "m", 0, 0)        // now = +10ms
 	r, done := a.transition(1, 5, nil) // now = +20ms
 	if !done || r.latency != 10*time.Millisecond {
 		t.Fatalf("latency = %v, done = %v", r.latency, done)
@@ -145,7 +145,7 @@ func TestAckerShardsRoundUpToPowerOfTwo(t *testing.T) {
 func TestAckerRootsSpreadAcrossShards(t *testing.T) {
 	a := newAcker(time.Minute, 4, nil)
 	for root := uint64(1); root <= 64; root++ {
-		a.register(root, root*7, root, 0)
+		a.register(root, root*7, root, 0, 0)
 	}
 	if a.inFlight() != 64 {
 		t.Fatalf("inFlight = %d, want 64", a.inFlight())

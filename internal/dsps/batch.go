@@ -33,36 +33,63 @@ func (a *tupleArena) get() *Tuple {
 	return t
 }
 
+// envBatch is a struct-of-arrays batch of tuples in transit: a dense
+// array of tuple pointers and a parallel array of their (coarse-clock)
+// enqueue timestamps. The SoA split keeps the hand-off payload two flat
+// arrays — the consumer walks tuples and timestamps as independent
+// streams, and a batch header is just two slice headers, small enough to
+// ride an SPSC ring slot by value.
+type envBatch struct {
+	tuples []*Tuple
+	ns     []int64
+}
+
+// add appends one tuple to the batch.
+//
+//dsps:hotpath
+func (b *envBatch) add(t *Tuple, enqueuedNs int64) {
+	b.tuples = append(b.tuples, t)
+	b.ns = append(b.ns, enqueuedNs)
+}
+
+// size returns the number of tuples in the batch.
+//
+//dsps:hotpath
+func (b envBatch) size() int { return len(b.tuples) }
+
 // freeListCap bounds how many idle batch slices each free list retains;
 // overflow is dropped to the GC.
 const freeListCap = 256
 
-// freeLists recycles the batch slices flowing through executor channels.
-// Gets and puts are non-blocking channel operations, so they are safe from
-// any goroutine and never alloc on the Put side (unlike sync.Pool, whose
-// interface conversion boxes the slice header).
+// freeLists recycles the batch slices flowing through the data plane
+// (channels or rings). Gets and puts are non-blocking channel operations,
+// so they are safe from any goroutine and never alloc on the Put side
+// (unlike sync.Pool, whose interface conversion boxes the payload).
 type freeLists struct {
-	envs chan []envelope
+	envs chan envBatch
 	acks chan []ackResult
 }
 
 func newFreeLists() *freeLists {
 	return &freeLists{
-		envs: make(chan []envelope, freeListCap),
+		envs: make(chan envBatch, freeListCap),
 		acks: make(chan []ackResult, freeListCap),
 	}
 }
 
-// getEnvs returns an empty envelope batch with at least its previous
-// capacity, falling back to a fresh allocation of capHint.
+// getEnvs returns an empty batch with at least its previous capacity,
+// falling back to a fresh allocation of capHint.
 //
 //dsps:hotpath
-func (f *freeLists) getEnvs(capHint int) []envelope {
+func (f *freeLists) getEnvs(capHint int) envBatch {
 	select {
 	case b := <-f.envs:
-		return b[:0]
+		return envBatch{tuples: b.tuples[:0], ns: b.ns[:0]}
 	default:
-		return make([]envelope, 0, capHint)
+		return envBatch{
+			tuples: make([]*Tuple, 0, capHint),
+			ns:     make([]int64, 0, capHint),
+		}
 	}
 }
 
@@ -70,12 +97,12 @@ func (f *freeLists) getEnvs(capHint int) []envelope {
 // does not pin arena chunks.
 //
 //dsps:hotpath
-func (f *freeLists) putEnvs(b []envelope) {
-	if cap(b) == 0 {
+func (f *freeLists) putEnvs(b envBatch) {
+	if cap(b.tuples) == 0 {
 		return
 	}
-	for i := range b {
-		b[i] = envelope{}
+	for i := range b.tuples {
+		b.tuples[i] = nil
 	}
 	select {
 	case f.envs <- b:

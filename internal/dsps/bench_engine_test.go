@@ -55,6 +55,32 @@ func (s *benchSpout) NextTuple() bool {
 func (s *benchSpout) Ack(any)  { s.done.Add(1) }
 func (s *benchSpout) Fail(any) { s.done.Add(1) }
 
+// benchLaneSpout is benchSpout on the typed emit path: int64 lane
+// payloads, uint64 msgIDs, completions through AckerU64 — nothing boxed
+// end to end.
+type benchLaneSpout struct {
+	dsps.BaseSpout
+	limit int
+
+	collector dsps.SpoutCollector
+	next      int
+	done      *atomic.Int64
+}
+
+func (s *benchLaneSpout) Open(_ dsps.TopologyContext, c dsps.SpoutCollector) { s.collector = c }
+
+func (s *benchLaneSpout) NextTuple() bool {
+	if s.next >= s.limit {
+		return false
+	}
+	s.collector.EmitInt64(7, uint64(s.next)+1)
+	s.next++
+	return true
+}
+
+func (s *benchLaneSpout) AckU64(uint64)  { s.done.Add(1) }
+func (s *benchLaneSpout) FailU64(uint64) { s.done.Add(1) }
+
 // benchRelay forwards every tuple downstream.
 type benchRelay struct {
 	dsps.BaseBolt
@@ -63,6 +89,18 @@ type benchRelay struct {
 
 func (b *benchRelay) Prepare(_ dsps.TopologyContext, c dsps.OutputCollector) { b.collector = c }
 func (b *benchRelay) Execute(*dsps.Tuple)                                    { b.collector.Emit(benchValues) }
+
+// benchLaneRelay forwards the unboxed lane payload downstream.
+type benchLaneRelay struct {
+	dsps.BaseBolt
+	collector dsps.OutputCollector
+}
+
+func (b *benchLaneRelay) Prepare(_ dsps.TopologyContext, c dsps.OutputCollector) { b.collector = c }
+func (b *benchLaneRelay) Execute(t *dsps.Tuple) {
+	v, _ := t.Int64()
+	b.collector.EmitInt64(v)
+}
 
 // benchSink counts arrivals into a shared atomic.
 type benchSink struct {
@@ -73,9 +111,9 @@ type benchSink struct {
 func (b *benchSink) Prepare(dsps.TopologyContext, dsps.OutputCollector) {}
 func (b *benchSink) Execute(*dsps.Tuple)                                { b.seen.Add(1) }
 
-func benchCluster(b *testing.B) *dsps.Cluster {
+func benchCluster(b *testing.B, opts ...func(*dsps.ClusterConfig)) *dsps.Cluster {
 	b.Helper()
-	return dsps.NewCluster(dsps.ClusterConfig{
+	cfg := dsps.ClusterConfig{
 		Nodes:           2,
 		CoresPerNode:    4,
 		QueueSize:       1024,
@@ -83,10 +121,26 @@ func benchCluster(b *testing.B) *dsps.Cluster {
 		AckTimeout:      time.Minute,
 		Delayer:         dsps.NopDelayer{},
 		Seed:            1,
-	})
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return dsps.NewCluster(cfg)
 }
 
-// waitFor spins until the counter reaches want.
+// benchRings flips a benchmark cluster onto the SPSC ring data plane —
+// the configuration the headline rows measure (see DESIGN.md "Data plane
+// v2"); the *Chan* control rows keep the channel plane for comparison.
+func benchRings(cfg *dsps.ClusterConfig) {
+	cfg.RingSize = 1024
+	cfg.WaitStrategy = "hybrid"
+}
+
+// waitFor sleep-polls until the counter reaches want. Polling must not
+// busy-spin: the benchmark goroutine shares the scheduler with the
+// executors it is timing, and a hot loop on a small GOMAXPROCS steals a
+// double-digit share of the run it measures. 50µs polls bound the
+// detection delay well below benchmark noise.
 func waitFor(b *testing.B, ctr *atomic.Int64, want int64) {
 	b.Helper()
 	deadline := time.Now().Add(5 * time.Minute)
@@ -94,6 +148,7 @@ func waitFor(b *testing.B, ctr *atomic.Int64, want int64) {
 		if time.Now().After(deadline) {
 			b.Fatalf("stalled: %d/%d after 5m", ctr.Load(), want)
 		}
+		time.Sleep(50 * time.Microsecond)
 	}
 }
 
@@ -114,7 +169,7 @@ func runEngineBench(b *testing.B, c *dsps.Cluster, topo *dsps.Topology, workers 
 
 // benchLinearAcked is the headline row: spout(1) -> relay(2) -> sink(2),
 // every root anchored and acked through the XOR tree.
-func benchLinearAcked(b *testing.B, workers int) {
+func benchLinearAcked(b *testing.B, workers int, opts ...func(*dsps.ClusterConfig)) {
 	var done atomic.Int64
 	var seen atomic.Int64
 	spout := &benchSpout{limit: b.N, anchored: true, done: &done}
@@ -126,12 +181,35 @@ func benchLinearAcked(b *testing.B, workers int) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	runEngineBench(b, benchCluster(b), topo, workers, &done, int64(b.N))
+	runEngineBench(b, benchCluster(b, opts...), topo, workers, &done, int64(b.N))
 }
 
-func BenchmarkEngineLinearAckedW1(b *testing.B) { benchLinearAcked(b, 1) }
-func BenchmarkEngineLinearAckedW2(b *testing.B) { benchLinearAcked(b, 2) }
-func BenchmarkEngineLinearAckedW4(b *testing.B) { benchLinearAcked(b, 4) }
+// The headline rows measure data plane v2 (SPSC rings + single-writer
+// acker owners); the Chan rows are the channel-plane control.
+func BenchmarkEngineLinearAckedW1(b *testing.B) { benchLinearAcked(b, 1, benchRings) }
+func BenchmarkEngineLinearAckedW2(b *testing.B) { benchLinearAcked(b, 2, benchRings) }
+func BenchmarkEngineLinearAckedW4(b *testing.B) { benchLinearAcked(b, 4, benchRings) }
+
+func BenchmarkEngineLinearAckedChanW1(b *testing.B) { benchLinearAcked(b, 1) }
+func BenchmarkEngineLinearAckedChanW4(b *testing.B) { benchLinearAcked(b, 4) }
+
+// BenchmarkEngineLinearAckedLanesW1 is the fully unboxed headline: typed
+// int64 lanes end to end (EmitInt64/Int64/AckerU64) on the ring plane —
+// no Values slice, no msgID boxing, no interface dispatch on completions.
+func BenchmarkEngineLinearAckedLanesW1(b *testing.B) {
+	var done atomic.Int64
+	var seen atomic.Int64
+	spout := &benchLaneSpout{limit: b.N, done: &done}
+	tb := dsps.NewTopologyBuilder("bench-linear-lanes")
+	tb.SetSpout("src", func() dsps.Spout { return spout }, 1, "v")
+	tb.SetBolt("relay", func() dsps.Bolt { return &benchLaneRelay{} }, 2, "v").ShuffleGrouping("src")
+	tb.SetBolt("sink", func() dsps.Bolt { return &benchSink{seen: &seen} }, 2).ShuffleGrouping("relay")
+	topo, err := tb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	runEngineBench(b, benchCluster(b, benchRings), topo, 1, &done, int64(b.N))
+}
 
 // BenchmarkEngineLinearAckedObservedW4 is the headline row with the
 // observability layer on: tuple tracing sampled at 1% (the documented

@@ -79,6 +79,26 @@ func TestChaosSoakEngineBatched(t *testing.T) {
 	})
 }
 
+// TestChaosSoakEngineRings re-runs the soak on the SPSC ring data plane
+// (data plane v2: per-producer rings, single-writer acker owners, SoA
+// batches) so the invariant checker audits ring attach/retire under
+// faults, rebalances and pause/resume — not just the channel plane.
+func TestChaosSoakEngineRings(t *testing.T) {
+	runChaosSoak(t, dsps.ClusterConfig{
+		Nodes:           2,
+		QueueSize:       64,
+		MaxSpoutPending: 128,
+		AckTimeout:      300 * time.Millisecond,
+		Delayer:         dsps.NopDelayer{},
+		Seed:            13,
+		AckerShards:     2,
+		BatchSize:       16,
+		FlushInterval:   200 * time.Microsecond,
+		RingSize:        16,
+		WaitStrategy:    "hybrid",
+	})
+}
+
 func runChaosSoak(t *testing.T, cfg dsps.ClusterConfig) {
 	horizon := 1200 * time.Millisecond
 	events := 16

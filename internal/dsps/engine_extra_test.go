@@ -36,7 +36,7 @@ func ackerRandomTreeProperty(seed int64, fanRaw, depthRaw uint8) bool {
 	}
 	root := build(0)
 	const rootID = 42
-	a.register(rootID, root.id, "msg", 0)
+	a.register(rootID, root.id, "msg", 0, 0)
 
 	// Collect (consumed, produced) transitions and apply them in a
 	// random order — XOR acking must be order-independent.

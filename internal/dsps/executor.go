@@ -4,17 +4,13 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
-)
 
-// envelope wraps a tuple in transit with its (coarse-clock) enqueue
-// timestamp.
-type envelope struct {
-	tuple      *Tuple
-	enqueuedNs int64
-}
+	"predstream/internal/ring"
+)
 
 // edge is one subscription: tuples from source fan out via grouping to the
 // ordered target tasks. The target list is a copy-on-write snapshot so a
@@ -30,13 +26,14 @@ type edge struct {
 	targets    atomic.Pointer[[]*task]
 }
 
-// outBuf accumulates envelopes bound for one (edge, target) pair until a
+// outBuf accumulates tuples bound for one (edge, target) pair until a
 // size- or deadline-triggered flush hands the whole batch to the target's
-// input channel. Owned by the emitting executor goroutine.
+// input queue (channel or ring). Owned by the emitting executor
+// goroutine.
 type outBuf struct {
 	target *task
 	edge   *edge
-	envs   []envelope
+	envs   envBatch
 }
 
 // task is one executor: a single goroutine running one spout or bolt
@@ -53,12 +50,21 @@ type task struct {
 	spout Spout
 	bolt  Bolt
 
-	inCh  chan []envelope  // bolts only
+	inCh  chan envBatch    // bolts only; nil on the ring plane
 	ackCh chan []ackResult // spouts only
 	space chan struct{}    // bolts only: capacity-freed wakeup signal
 	stop  chan struct{}    // closed by ScaleDown to drain this executor
 	done  chan struct{}    // closed when the executor goroutine exits
 	rng   *rand.Rand       // fault-probability draws; executor-goroutine-local
+
+	// Ring-plane input (RingSize > 0; bolts only). inRings is the
+	// copy-on-write list of per-producer SPSC rings this executor drains;
+	// ringMu orders list splices (producers attach, the consumer prunes).
+	// ringWait parks the executor when every ring is empty; producers Wake
+	// it after a push.
+	ringMu   sync.Mutex
+	inRings  atomic.Pointer[[]*ring.SPSC[envBatch]]
+	ringWait *ring.Waiter
 
 	// dead marks a retired task. Set under the topology splice lock, read
 	// by producers under its read lock, so a parked send observing
@@ -95,7 +101,20 @@ type task struct {
 	outs        []outBuf  // flat per-(edge,target) buffers, edge-major
 	selScratch  []int     // routing selections (outs indices), reused
 	idScratch   []uint64  // spout edge-id staging, reused
-	firstBufNs  int64     // coarse stamp of oldest unflushed envelope, 0 if none
+	firstBufNs  int64     // coarse stamp of oldest unflushed tuple, 0 if none
+
+	// Ring-plane producer state, owned by the executor goroutine: the
+	// SPSC rings this task pushes through, one per downstream target and
+	// one per acker shard it has staged ops for.
+	outRings map[*task]*ring.SPSC[envBatch]
+	ackRings []*ring.SPSC[*[]ackOp]
+	// ackStage holds the per-shard op slices being filled before their
+	// next push (see stageAckOp/flushAckStage).
+	ackStage []*[]ackOp
+	// ackerU64 is the spout's AckerU64 implementation, or nil; cached so
+	// the typed-lane completion path is one nil check, not a per-ack
+	// type assertion.
+	ackerU64 AckerU64
 }
 
 // runningTopology is the live runtime of a submitted topology.
@@ -134,8 +153,18 @@ type runningTopology struct {
 	clock    coarseClock
 	fl       *freeLists
 	trace    *Trace // sampled-tuple trace ring; nil = tracing disabled
-	effBatch int    // envelopes per batch, min(BatchSize, QueueSize)
+	effBatch int    // tuples per batch, min(BatchSize, QueueSize)
 	flushNs  int64  // FlushInterval in nanoseconds
+
+	// Ring-plane configuration (data plane v2). ringMode is RingSize > 0;
+	// ringCap is the per-producer ring capacity in batch slots, clamped to
+	// at least QueueSize so a reserved push can never find the ring full
+	// (outstanding batches ≤ reserved tuples ≤ QueueSize). ackOwners is
+	// non-nil exactly in ring mode.
+	ringMode  bool
+	ringCap   int
+	waitStrat ring.WaitStrategy
+	ackOwners *ackOwners
 
 	ctx          context.Context
 	cancel       context.CancelFunc
@@ -167,6 +196,18 @@ func (c *Cluster) buildRuntime(t *Topology, sc SubmitConfig) (*runningTopology, 
 		rt.effBatch = 1
 	}
 	rt.flushNs = int64(c.cfg.FlushInterval)
+	rt.ringMode = c.cfg.RingSize > 0
+	if rt.ringMode {
+		rt.ringCap = c.cfg.RingSize
+		if rt.ringCap < c.cfg.QueueSize {
+			rt.ringCap = c.cfg.QueueSize
+		}
+	}
+	ws, err := ring.ParseWaitStrategy(c.cfg.WaitStrategy)
+	if err != nil {
+		return nil, fmt.Errorf("dsps: %w", err)
+	}
+	rt.waitStrat = ws
 	rt.clock.ns.Store(time.Now().UnixNano())
 	rt.ctx, rt.cancel = context.WithCancel(context.Background())
 	// Worker and task ids are cluster-global so concurrently running
@@ -220,6 +261,7 @@ func (c *Cluster) buildRuntime(t *Topology, sc SubmitConfig) (*runningTopology, 
 				rt.cancel()
 				return nil, fmt.Errorf("dsps: spout factory for %q returned nil", sd.name)
 			}
+			tk.ackerU64, _ = tk.spout.(AckerU64)
 			rt.tasks = append(rt.tasks, tk)
 			c.nextTask++
 		}
@@ -236,21 +278,17 @@ func (c *Cluster) buildRuntime(t *Topology, sc SubmitConfig) (*runningTopology, 
 				execCost:     bd.execCost,
 				tickInterval: bd.tickInterval,
 				bolt:         bd.factory(),
-				// The queue bound is enforced in tuples by reserve();
-				// sizing the channel at QueueSize slots means a reserved
-				// batch (≥1 tuple each) always finds a free slot, so the
-				// send after a successful reservation never blocks.
-				inCh:      make(chan []envelope, c.cfg.QueueSize),
-				space:     make(chan struct{}, 1),
-				stop:      make(chan struct{}),
-				done:      make(chan struct{}),
-				rng:       rand.New(rand.NewSource(taskSeed)),
-				edgeState: uint64(taskSeed),
+				space:        make(chan struct{}, 1),
+				stop:         make(chan struct{}),
+				done:         make(chan struct{}),
+				rng:          rand.New(rand.NewSource(taskSeed)),
+				edgeState:    uint64(taskSeed),
 			}
 			if tk.bolt == nil {
 				rt.cancel()
 				return nil, fmt.Errorf("dsps: bolt factory for %q returned nil", bd.name)
 			}
+			rt.initBoltInput(tk)
 			rt.tasks = append(rt.tasks, tk)
 			c.nextTask++
 		}
@@ -289,7 +327,27 @@ func (c *Cluster) buildRuntime(t *Topology, sc SubmitConfig) (*runningTopology, 
 		rt.rebuildOuts(tk, 0)
 	}
 	rt.acker = newAcker(c.cfg.AckTimeout, c.cfg.AckerShards, rt.clock.nowNs)
+	if rt.ringMode {
+		rt.ackOwners = newAckOwners(len(rt.acker.shards))
+	}
 	return rt, nil
+}
+
+// initBoltInput wires a bolt task's input queue for the active data
+// plane: a QueueSize-slot channel on the channel plane, an (initially
+// empty) list of per-producer SPSC rings plus a park/wake waiter on the
+// ring plane. Either way the queue bound is enforced in tuples by
+// reserve(), and sizing at QueueSize slots means a reserved batch (≥1
+// tuple each) always finds a free slot, so the hand-off after a
+// successful reservation never blocks.
+func (rt *runningTopology) initBoltInput(tk *task) {
+	if !rt.ringMode {
+		tk.inCh = make(chan envBatch, rt.cfg.QueueSize)
+		return
+	}
+	empty := make([]*ring.SPSC[envBatch], 0)
+	tk.inRings.Store(&empty)
+	tk.ringWait = ring.NewWaiter()
 }
 
 // fieldsOf returns the declared output schema of a component.
@@ -377,6 +435,12 @@ func (rt *runningTopology) start() {
 		defer rt.wg.Done()
 		rt.clock.run(rt.ctx)
 	}()
+	if rt.ackOwners != nil {
+		for s := range rt.ackOwners.owners {
+			rt.wg.Add(1)
+			go rt.runAckOwner(s)
+		}
+	}
 	for _, tk := range rt.tasks {
 		rt.wg.Add(1)
 		if tk.spout != nil {
@@ -466,6 +530,12 @@ func (rt *runningTopology) quiescent() bool {
 	if rt.acker.inFlight() > 0 {
 		return false
 	}
+	// Ring plane: ops staged in owner rings are not yet visible in the
+	// shard maps; completions already applied may still be en route to
+	// their spout (the ackCh length check below catches those).
+	if rt.ackOwners != nil && rt.ackOwners.opsPending.Load() != 0 {
+		return false
+	}
 	rt.tasksMu.RLock()
 	defer rt.tasksMu.RUnlock()
 	for _, tk := range rt.tasks {
@@ -536,42 +606,50 @@ func (rt *runningTopology) routeInto(tk *task, tpl *Tuple) int {
 	return len(sel)
 }
 
-// enqueue appends one envelope to the out-buffer at bufIdx, flushing the
+// enqueue appends one tuple to the out-buffer at bufIdx, flushing the
 // buffer when it reaches the batch size.
 //
 //dsps:hotpath
 func (rt *runningTopology) enqueue(tk *task, bufIdx int, tpl *Tuple, nowNs int64) {
 	ob := &tk.outs[bufIdx]
-	if ob.envs == nil {
+	if ob.envs.tuples == nil {
 		ob.envs = rt.fl.getEnvs(rt.effBatch)
 	}
 	if tk.firstBufNs == 0 {
 		tk.firstBufNs = nowNs
 	}
-	ob.envs = append(ob.envs, envelope{tuple: tpl, enqueuedNs: nowNs})
+	ob.envs.add(tpl, nowNs)
 	tk.outPending.Add(1)
-	if len(ob.envs) >= rt.effBatch {
+	if ob.envs.size() >= rt.effBatch {
 		envs := ob.envs
-		ob.envs = nil
+		ob.envs = envBatch{}
 		rt.sendBatch(tk, ob.edge, ob.target, envs)
 	}
 }
 
-// flushOut sends every non-empty out-buffer of tk downstream.
+// flushOut sends every non-empty out-buffer of tk downstream, and — on
+// the ring plane — pushes the task's staged ack ops to their shard
+// owners. The ack flush must precede the early return: a pure sink
+// stages transitions without ever buffering output, and quiescence
+// depends on every flush point draining the ack stage too (a sink
+// holding back its last partial op slice would wedge Drain).
 //
 //dsps:hotpath
 func (rt *runningTopology) flushOut(tk *task) {
+	if rt.ackOwners != nil {
+		rt.flushAckStage(tk)
+	}
 	if tk.outPending.Load() == 0 {
 		tk.firstBufNs = 0
 		return
 	}
 	for i := range tk.outs {
 		ob := &tk.outs[i]
-		if len(ob.envs) == 0 {
+		if ob.envs.size() == 0 {
 			continue
 		}
 		envs := ob.envs
-		ob.envs = nil
+		ob.envs = envBatch{}
 		rt.sendBatch(tk, ob.edge, ob.target, envs)
 	}
 	tk.firstBufNs = 0
@@ -638,8 +716,9 @@ func (tk *task) release(n int64) {
 // current fan-out table.
 //
 //dsps:hotpath
-func (rt *runningTopology) sendBatch(src *task, e *edge, target *task, envs []envelope) {
-	n := int64(len(envs))
+//dsps:ringproducer
+func (rt *runningTopology) sendBatch(src *task, e *edge, target *task, envs envBatch) {
+	n := int64(envs.size())
 	bound := int64(rt.cfg.QueueSize)
 	dg, dynamic := e.grouping.(*DynamicGrouping)
 	retry := blockedRecheck
@@ -652,6 +731,9 @@ func (rt *runningTopology) sendBatch(src *task, e *edge, target *task, envs []en
 		rt.spliceMu.RLock()
 		if target.dead.Load() {
 			rt.spliceMu.RUnlock()
+			// Drop the producer's cached ring to the retired target so the
+			// map does not accumulate entries across scale churn.
+			delete(src.outRings, target)
 			tl := *e.targets.Load()
 			if len(tl) == 0 {
 				// No live target remains (topology tearing down): drop the
@@ -663,7 +745,7 @@ func (rt *runningTopology) sendBatch(src *task, e *edge, target *task, envs []en
 			}
 			idx := 0
 			if e.single != nil {
-				if i := e.single.selectOne(envs[0].tuple, len(tl)); i >= 0 && i < len(tl) {
+				if i := e.single.selectOne(envs.tuples[0], len(tl)); i >= 0 && i < len(tl) {
 					idx = i
 				}
 			}
@@ -673,9 +755,33 @@ func (rt *runningTopology) sendBatch(src *task, e *edge, target *task, envs []en
 			continue
 		}
 		if target.reserve(n, bound) {
-			//dspslint:ignore lockedsend reserved send never blocks; the splice read lock orders it against fan-out splices
-			target.inCh <- envs
-			rt.spliceMu.RUnlock()
+			if rt.ringMode {
+				r := src.outRings[target]
+				if r == nil {
+					r = rt.attachInRingLocked(target)
+					if src.outRings == nil {
+						src.outRings = make(map[*task]*ring.SPSC[envBatch])
+					}
+					src.outRings[target] = r
+				}
+				// Reserved tuples ≤ QueueSize and every in-flight batch
+				// holds ≥ 1 of them, so a ring with ≥ QueueSize batch slots
+				// always has room for a reserved push; the failure arm is
+				// defensive (it would indicate a reservation accounting bug)
+				// and backs out rather than losing the batch.
+				if !r.Push(envs) {
+					target.release(n)
+					rt.spliceMu.RUnlock()
+					runtime.Gosched()
+					continue
+				}
+				rt.spliceMu.RUnlock()
+				target.ringWait.Wake()
+			} else {
+				//dspslint:ignore lockedsend reserved send never blocks; the splice read lock orders it against fan-out splices
+				target.inCh <- envs
+				rt.spliceMu.RUnlock()
+			}
 			target.inbound.Add(-1)
 			src.outPending.Add(-n)
 			src.counters.batches.Add(1)
@@ -703,7 +809,7 @@ func (rt *runningTopology) sendBatch(src *task, e *edge, target *task, envs []en
 		case <-time.After(retry):
 			if dynamic {
 				tl := *e.targets.Load()
-				if idx := dg.selectOne(envs[0].tuple, len(tl)); idx >= 0 && idx < len(tl) {
+				if idx := dg.selectOne(envs.tuples[0], len(tl)); idx >= 0 && idx < len(tl) {
 					target.inbound.Add(-1)
 					target = tl[idx]
 					target.inbound.Add(1)
@@ -725,24 +831,59 @@ type spoutCollector struct {
 //
 //dsps:hotpath
 func (sc *spoutCollector) Emit(values Values, msgID any) {
-	rt, tk := sc.rt, sc.tk
-	tpl := tk.arena.get()
+	tpl := sc.tk.arena.get()
 	tpl.Values = values
+	sc.emit(tpl, msgID, 0, msgID != nil)
+}
+
+// EmitInt64 implements SpoutCollector: the payload rides the tuple's
+// int64 lane and the anchor its uint64 lane, so nothing boxes.
+//
+//dsps:hotpath
+func (sc *spoutCollector) EmitInt64(v int64, msgID uint64) {
+	tpl := sc.tk.arena.get()
+	tpl.lane = laneI64
+	tpl.i64 = v
+	sc.emit(tpl, nil, msgID, msgID != 0)
+}
+
+// EmitFloat64 implements SpoutCollector.
+//
+//dsps:hotpath
+func (sc *spoutCollector) EmitFloat64(v float64, msgID uint64) {
+	tpl := sc.tk.arena.get()
+	tpl.lane = laneF64
+	tpl.f64 = v
+	sc.emit(tpl, nil, msgID, msgID != 0)
+}
+
+// emit is the shared spout emit core: route, anchor, trace, enqueue.
+// Exactly one of msgID/msgU64 carries the anchor when anchored is true.
+//
+//dsps:hotpath
+func (sc *spoutCollector) emit(tpl *Tuple, msgID any, msgU64 uint64, anchored bool) {
+	rt, tk := sc.rt, sc.tk
 	tpl.SourceComponent = tk.component
 	tpl.SourceTask = tk.id
 	tpl.fields = tk.outFields
 	nsel := rt.routeInto(tk, tpl)
 	now := rt.clock.nowNs()
-	if msgID != nil {
+	if anchored {
 		if nsel == 0 {
 			// Nothing downstream: complete immediately.
 			tk.counters.acked.Add(1)
-			tk.spout.Ack(msgID)
+			if msgID != nil {
+				tk.spout.Ack(msgID)
+			} else if tk.ackerU64 != nil {
+				tk.ackerU64.AckU64(msgU64)
+			} else {
+				tk.spout.Ack(msgU64)
+			}
 			tk.counters.emitted.Add(1)
 			return
 		}
 		// Draw every edge id and register the root *before* the first
-		// envelope can leave (a size-triggered flush inside enqueue may
+		// tuple can leave (a size-triggered flush inside enqueue may
 		// hand tuples to a downstream executor immediately).
 		rootID := tk.nextEdgeID()
 		ids := tk.idScratch[:0]
@@ -753,7 +894,7 @@ func (sc *spoutCollector) Emit(values Values, msgID any) {
 			xor ^= id
 		}
 		tk.idScratch = ids
-		rt.acker.register(rootID, xor, msgID, tk.id)
+		rt.ackRegister(tk, rootID, xor, msgID, msgU64)
 		tk.pending++
 		// Record the emit span before the first enqueue so a sampled
 		// root's emit always sequences ahead of its descendants' exec
@@ -805,10 +946,24 @@ func (rt *runningTopology) handleAckBatch(tk *task, rb []ackResult) {
 			tk.counters.acked.Add(1)
 			tk.counters.completeNs.Add(int64(r.latency))
 			tk.counters.completeHist.observe(r.latency)
-			tk.spout.Ack(r.msgID)
+			switch {
+			case !r.hasU64:
+				tk.spout.Ack(r.msgID)
+			case tk.ackerU64 != nil:
+				tk.ackerU64.AckU64(r.msgU64)
+			default:
+				tk.spout.Ack(r.msgU64)
+			}
 		} else {
 			tk.counters.failed.Add(1)
-			tk.spout.Fail(r.msgID)
+			switch {
+			case !r.hasU64:
+				tk.spout.Fail(r.msgID)
+			case tk.ackerU64 != nil:
+				tk.ackerU64.FailU64(r.msgU64)
+			default:
+				tk.spout.Fail(r.msgU64)
+			}
 		}
 	}
 	rt.fl.putAcks(rb)
@@ -908,9 +1063,38 @@ type boltCollector struct {
 //
 //dsps:hotpath
 func (bc *boltCollector) Emit(values Values) {
-	rt, tk := bc.rt, bc.tk
-	tpl := tk.arena.get()
+	tpl := bc.tk.arena.get()
 	tpl.Values = values
+	bc.emit(tpl)
+}
+
+// EmitInt64 implements OutputCollector: the payload rides the tuple's
+// int64 lane, so the emit never boxes.
+//
+//dsps:hotpath
+func (bc *boltCollector) EmitInt64(v int64) {
+	tpl := bc.tk.arena.get()
+	tpl.lane = laneI64
+	tpl.i64 = v
+	bc.emit(tpl)
+}
+
+// EmitFloat64 implements OutputCollector.
+//
+//dsps:hotpath
+func (bc *boltCollector) EmitFloat64(v float64) {
+	tpl := bc.tk.arena.get()
+	tpl.lane = laneF64
+	tpl.f64 = v
+	bc.emit(tpl)
+}
+
+// emit is the shared bolt emit core: route, anchor to the current input,
+// enqueue.
+//
+//dsps:hotpath
+func (bc *boltCollector) emit(tpl *Tuple) {
+	rt, tk := bc.rt, bc.tk
 	tpl.SourceComponent = tk.component
 	tpl.SourceTask = tk.id
 	tpl.fields = tk.outFields
@@ -985,25 +1169,25 @@ func (bc *boltCollector) flushAcks() {
 	}
 }
 
-// processEnvelope runs the full per-tuple bolt path: tick bypass, fault
+// processTuple runs the full per-tuple bolt path: tick bypass, fault
 // draws, the interference cost model, Execute, metrics, and ack-tree
 // bookkeeping. Returns false when the topology shut down mid-stall.
 //
 //dsps:hotpath
-func (rt *runningTopology) processEnvelope(tk *task, collector *boltCollector, env *envelope) bool {
+func (rt *runningTopology) processTuple(tk *task, collector *boltCollector, tpl *Tuple, enqueuedNs int64) bool {
 	n := tk.worker.node
-	if env.tuple.IsTick() {
+	if tpl.IsTick() {
 		// Ticks bypass the fault/cost/ack machinery: they exist only to
 		// advance bolt-internal time.
-		collector.current = env.tuple
+		collector.current = tpl
 		collector.produced = collector.produced[:0]
 		collector.failed = false
-		tk.bolt.Execute(env.tuple)
+		tk.bolt.Execute(tpl)
 		collector.current = nil
 		return true
 	}
 	startNs := rt.clock.nowNs()
-	tk.counters.queueNanos.Add(startNs - env.enqueuedNs)
+	tk.counters.queueNanos.Add(startNs - enqueuedNs)
 
 	fault, faulty := rt.cluster.faults.get(tk.worker.id)
 	// A stalled worker hangs mid-processing until the fault clears or the
@@ -1027,10 +1211,8 @@ func (rt *runningTopology) processEnvelope(tk *task, collector *boltCollector, e
 	}
 	if faulty && fault.FailProb > 0 && tk.rng.Float64() < fault.FailProb {
 		tk.counters.dropped.Add(1)
-		if env.tuple.rootID != 0 {
-			if r, ok := rt.acker.fail(env.tuple.rootID); ok {
-				collector.addAck(r)
-			}
+		if tpl.rootID != 0 {
+			rt.ackFail(tk, collector, tpl.rootID)
 		}
 		return true
 	}
@@ -1050,10 +1232,10 @@ func (rt *runningTopology) processEnvelope(tk *task, collector *boltCollector, e
 		rt.cfg.Delayer.Delay(cost)
 	}
 
-	collector.current = env.tuple
+	collector.current = tpl
 	collector.produced = collector.produced[:0]
 	collector.failed = false
-	tk.bolt.Execute(env.tuple)
+	tk.bolt.Execute(tpl)
 	n.busy.Add(-1)
 	n.executed.Add(1)
 
@@ -1067,29 +1249,27 @@ func (rt *runningTopology) processEnvelope(tk *task, collector *boltCollector, e
 	tk.counters.execNanos.Add(int64(elapsed))
 	tk.counters.execHist.observe(elapsed)
 
-	if rt.trace != nil && env.tuple.rootID != 0 && rt.trace.sampled(env.tuple.rootID) {
+	if rt.trace != nil && tpl.rootID != 0 && rt.trace.sampled(tpl.rootID) {
 		rt.trace.record(TraceSpan{
-			RootID:          env.tuple.rootID,
+			RootID:          tpl.rootID,
 			Kind:            SpanExec,
 			Topology:        rt.topo.Name,
 			Component:       tk.component,
 			TaskID:          tk.id,
 			TaskIndex:       tk.index,
 			WorkerID:        tk.worker.id,
-			SourceComponent: env.tuple.SourceComponent,
+			SourceComponent: tpl.SourceComponent,
 			StartNs:         startNs,
 			EndNs:           startNs + int64(elapsed),
-			QueueNs:         startNs - env.enqueuedNs,
+			QueueNs:         startNs - enqueuedNs,
 		})
 	}
 
-	if env.tuple.rootID != 0 {
+	if tpl.rootID != 0 {
 		if collector.failed {
-			if r, ok := rt.acker.fail(env.tuple.rootID); ok {
-				collector.addAck(r)
-			}
-		} else if r, ok := rt.acker.transition(env.tuple.rootID, env.tuple.edgeID, collector.produced); ok {
-			collector.addAck(r)
+			rt.ackFail(tk, collector, tpl.rootID)
+		} else {
+			rt.ackTransition(tk, collector, tpl.rootID, tpl.edgeID, collector.produced)
 		}
 	}
 	collector.current = nil
@@ -1104,6 +1284,10 @@ func (rt *runningTopology) runBolt(tk *task) {
 	if tk.tickInterval > 0 {
 		rt.wg.Add(1)
 		go rt.runTicker(tk)
+	}
+	if rt.ringMode {
+		rt.runBoltRing(tk, collector)
+		return
 	}
 	for {
 		rt.maybeRebuild(tk)
@@ -1121,13 +1305,9 @@ func (rt *runningTopology) runBolt(tk *task) {
 			// A splice advanced the route epoch; loop so even an idle bolt
 			// re-acks it promptly (ScaleDown waits on that convergence).
 		case batch := <-tk.inCh:
-			tk.release(int64(len(batch)))
-			for i := range batch {
-				if !rt.processEnvelope(tk, collector, &batch[i]) {
-					return
-				}
+			if !rt.processBatch(tk, collector, batch) {
+				return
 			}
-			rt.fl.putEnvs(batch)
 			// Bolts emit only while processing input, so flushing here
 			// (rather than on a deadline) bounds output latency by the
 			// input batch and leaves nothing buffered while idle.
@@ -1137,13 +1317,35 @@ func (rt *runningTopology) runBolt(tk *task) {
 	}
 }
 
+// processBatch releases the batch's queue reservation, runs every tuple
+// through the bolt, and recycles the batch slices. Returns false when the
+// topology shut down mid-batch.
+//
+//dsps:hotpath
+func (rt *runningTopology) processBatch(tk *task, collector *boltCollector, batch envBatch) bool {
+	tk.release(int64(batch.size()))
+	for i, tpl := range batch.tuples {
+		if !rt.processTuple(tk, collector, tpl, batch.ns[i]) {
+			return false
+		}
+	}
+	rt.fl.putEnvs(batch)
+	return true
+}
+
 // runTicker feeds tick tuples to a bolt task at its declared interval.
 // Sends are non-blocking: a saturated queue drops the tick rather than
 // adding backpressure (Storm's semantics — ticks are best-effort).
+//
+//dsps:ringproducer
 func (rt *runningTopology) runTicker(tk *task) {
 	defer rt.wg.Done()
 	ticker := time.NewTicker(tk.tickInterval)
 	defer ticker.Stop()
+	// On the ring plane the ticker goroutine is a producer in its own
+	// right, so it owns a private ring to its bolt — it must never share
+	// the executor goroutine's outRings cache.
+	var tickRing *ring.SPSC[envBatch]
 	for {
 		select {
 		case <-rt.ctx.Done():
@@ -1164,13 +1366,24 @@ func (rt *runningTopology) runTicker(tk *task) {
 				continue // full queue drops the tick
 			}
 			b := rt.fl.getEnvs(1)
-			b = append(b, envelope{
-				tuple:      &Tuple{SourceComponent: TickComponent},
-				enqueuedNs: rt.clock.nowNs(),
-			})
-			//dspslint:ignore lockedsend reserved tick send never blocks; the splice read lock orders it against retirement
-			tk.inCh <- b
-			rt.spliceMu.RUnlock()
+			b.add(&Tuple{SourceComponent: TickComponent}, rt.clock.nowNs())
+			if rt.ringMode {
+				if tickRing == nil {
+					tickRing = rt.attachInRingLocked(tk)
+				}
+				if !tickRing.Push(b) {
+					// Defensive: back the reservation out (see sendBatch).
+					tk.release(1)
+					rt.spliceMu.RUnlock()
+					continue
+				}
+				rt.spliceMu.RUnlock()
+				tk.ringWait.Wake()
+			} else {
+				//dspslint:ignore lockedsend reserved tick send never blocks; the splice read lock orders it against retirement
+				tk.inCh <- b
+				rt.spliceMu.RUnlock()
+			}
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // Fault describes injected worker misbehaviour, the mechanism the
@@ -47,6 +48,10 @@ func (f Fault) valid() error {
 type faultRegistry struct {
 	mu     sync.RWMutex
 	faults map[string]Fault
+	// active mirrors len(faults) so the per-tuple get() can skip the read
+	// lock entirely while no fault is injected — the overwhelmingly common
+	// case outside chaos runs.
+	active atomic.Int64
 }
 
 func newFaultRegistry() *faultRegistry {
@@ -58,6 +63,9 @@ func (r *faultRegistry) set(workerID string, f Fault) error {
 		return err
 	}
 	r.mu.Lock()
+	if _, ok := r.faults[workerID]; !ok {
+		r.active.Add(1)
+	}
 	r.faults[workerID] = f
 	r.mu.Unlock()
 	return nil
@@ -65,11 +73,18 @@ func (r *faultRegistry) set(workerID string, f Fault) error {
 
 func (r *faultRegistry) clear(workerID string) {
 	r.mu.Lock()
+	if _, ok := r.faults[workerID]; ok {
+		r.active.Add(-1)
+	}
 	delete(r.faults, workerID)
 	r.mu.Unlock()
 }
 
+//dsps:hotpath
 func (r *faultRegistry) get(workerID string) (Fault, bool) {
+	if r.active.Load() == 0 {
+		return Fault{}, false
+	}
 	r.mu.RLock()
 	f, ok := r.faults[workerID]
 	r.mu.RUnlock()

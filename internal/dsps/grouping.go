@@ -106,6 +106,18 @@ func fnvString(h uint64, s string) uint64 {
 func (g *FieldsGrouping) key(t *Tuple) uint64 {
 	h := fnvOffset64
 	for _, f := range g.Fields {
+		// Lane tuples carry one unboxed payload under the first declared
+		// field; hash it directly so grouping lane emits stays alloc-free.
+		if t.Values == nil && t.lane != laneNone && len(t.fields) > 0 && t.fields[0] == f {
+			switch t.lane {
+			case laneI64:
+				h = fnvUint64(h, uint64(t.i64))
+			case laneF64:
+				h = fnvUint64(h, math.Float64bits(t.f64))
+			}
+			h = fnvByte(h, 0)
+			continue
+		}
 		v, err := t.GetValue(f)
 		if err != nil {
 			// A missing grouping field is a topology bug; skip it

@@ -18,6 +18,7 @@ type taskCounters struct {
 	dropped    atomic.Int64 // tuples dropped by fault injection
 	batches    atomic.Int64 // data-plane batches sent downstream
 	bpWaits    atomic.Int64 // batches that blocked at least once on backpressure
+	ringParks  atomic.Int64 // times the ring-plane executor parked on its waiter
 
 	execHist     latencyHist // per-tuple execute latency distribution
 	completeHist latencyHist // complete latency distribution (spouts)
@@ -59,6 +60,12 @@ type TaskStats struct {
 	// BackpressureWaits counts batches that blocked at least once on a full
 	// downstream queue before being delivered.
 	BackpressureWaits int64
+	// RingDepth is the instantaneous number of batches buffered across the
+	// task's input rings (ring plane only; 0 on the channel plane).
+	RingDepth int
+	// RingParks counts how many times the ring-plane executor exhausted its
+	// spin budget and parked on its waiter.
+	RingParks int64
 	// ExecHist and CompleteHist are the latency distributions in the
 	// engine's log-bucket layout (see HistogramQuantile / MergeHistograms).
 	ExecHist     []int64
@@ -160,6 +167,10 @@ type ComponentStats struct {
 	// Batches and BackpressureWaits sum the data-plane counters.
 	Batches           int64
 	BackpressureWaits int64
+	// RingDepth sums the live executors' buffered ring batches; RingParks
+	// sums their waiter parks (ring plane only).
+	RingDepth int
+	RingParks int64
 	// ExecHist and CompleteHist are the merged latency distributions.
 	ExecHist     []int64
 	CompleteHist []int64
@@ -209,7 +220,9 @@ func buildComponentStats(tasks []TaskStats) []ComponentStats {
 		} else {
 			cs.Parallelism++
 			cs.QueueLen += ts.QueueLen
+			cs.RingDepth += ts.RingDepth
 		}
+		cs.RingParks += ts.RingParks
 		cs.Executed += ts.Executed
 		cs.Emitted += ts.Emitted
 		cs.Acked += ts.Acked

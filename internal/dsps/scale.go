@@ -201,7 +201,6 @@ func (rt *runningTopology) spawnTask(bd *boltDecl) (*task, error) {
 		execCost:     bd.execCost,
 		tickInterval: bd.tickInterval,
 		bolt:         bd.factory(),
-		inCh:         make(chan []envelope, rt.cfg.QueueSize),
 		space:        make(chan struct{}, 1),
 		stop:         make(chan struct{}),
 		done:         make(chan struct{}),
@@ -211,6 +210,7 @@ func (rt *runningTopology) spawnTask(bd *boltDecl) (*task, error) {
 	if tk.bolt == nil {
 		return nil, fmt.Errorf("dsps: bolt factory for %q returned nil", bd.name)
 	}
+	rt.initBoltInput(tk)
 	tk.outEdges = rt.edges[bd.name]
 	tk.outFields = rt.fieldsOf(bd.name)
 	rt.tasksMu.Lock()
@@ -373,17 +373,58 @@ func (rt *runningTopology) awaitDone(v *task, deadline time.Time) bool {
 // out-buffers, runs Cleanup, and moves the task's final counters to the
 // retired list so snapshot totals stay monotone. Returns the number of
 // discarded queued tuples.
+//
+// Carries both ring annotations: the executor has exited and dead was set
+// under the splice write lock, so ownership of both ring sides has
+// transferred to this goroutine (see the comment inside).
+//
+//dsps:ringproducer
+//dsps:ringconsumer
 func (rt *runningTopology) retireTask(v *task) int {
 	lost := 0
-	for {
-		select {
-		case b := <-v.inCh:
-			lost += len(b)
-			rt.fl.putEnvs(b)
-			continue
-		default:
+	if rt.ringMode {
+		// The executor goroutine has exited (awaitDone) and dead was set
+		// under the splice write lock, so no producer can push again:
+		// ownership of both ring sides has transferred to this goroutine.
+		if p := v.inRings.Load(); p != nil {
+			for _, r := range *p {
+				r.Close()
+				for {
+					b, ok := r.Pop()
+					if !ok {
+						break
+					}
+					lost += b.size()
+					rt.fl.putEnvs(b)
+				}
+			}
 		}
-		break
+		// Close this task's producer-side rings so downstream consumers
+		// and acker shard owners prune them once drained.
+		for _, r := range v.outRings {
+			r.Close()
+		}
+		v.outRings = nil
+		// Staged-but-unpushed ack ops are dropped (their roots fail via the
+		// ack-timeout sweep, like force-drained tuples), then the rings
+		// close so the shard owners prune them once drained.
+		rt.dropAckStage(v)
+		for _, r := range v.ackRings {
+			if r != nil {
+				r.Close()
+			}
+		}
+	} else {
+		for {
+			select {
+			case b := <-v.inCh:
+				lost += b.size()
+				rt.fl.putEnvs(b)
+				continue
+			default:
+			}
+			break
+		}
 	}
 	if lost > 0 {
 		v.queued.Add(int64(-lost))
@@ -391,10 +432,10 @@ func (rt *runningTopology) retireTask(v *task) int {
 	}
 	for i := range v.outs {
 		ob := &v.outs[i]
-		if len(ob.envs) > 0 {
-			v.outPending.Add(int64(-len(ob.envs)))
+		if ob.envs.size() > 0 {
+			v.outPending.Add(int64(-ob.envs.size()))
 			rt.fl.putEnvs(ob.envs)
-			ob.envs = nil
+			ob.envs = envBatch{}
 		}
 	}
 	v.bolt.Cleanup()

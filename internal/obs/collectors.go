@@ -75,6 +75,8 @@ func NewClusterCollector(c *dsps.Cluster) Collector {
 		batches := counter("predstream_task_batches_total", "Data-plane envelope batches the task sent downstream.")
 		bpWaits := counter("predstream_task_backpressure_waits_total", "Batches that blocked at least once on a full downstream queue.")
 		queueLen := gauge("predstream_task_queue_length", "Instantaneous input queue length (reservation-accurate tuples).")
+		ringDepth := gauge("predstream_ring_depth", "Batches buffered across the task's input SPSC rings (ring plane only).")
+		ringParks := counter("predstream_ring_parks_total", "Times the ring-plane executor exhausted its spin budget and parked.")
 		execHist := Family{Name: "predstream_task_exec_latency_seconds", Help: "Per-tuple execute latency distribution.", Type: TypeHistogram}
 		completeHist := Family{Name: "predstream_spout_complete_latency_seconds", Help: "Complete latency distribution of acked roots (spout tasks).", Type: TypeHistogram}
 
@@ -99,6 +101,8 @@ func NewClusterCollector(c *dsps.Cluster) Collector {
 				})
 			} else {
 				queueLen.Samples = append(queueLen.Samples, Sample{Labels: ls, Value: float64(t.QueueLen)})
+				ringDepth.Samples = append(ringDepth.Samples, Sample{Labels: ls, Value: float64(t.RingDepth)})
+				ringParks.Samples = append(ringParks.Samples, Sample{Labels: ls, Value: float64(t.RingParks)})
 				execHist.Samples = append(execHist.Samples, Sample{
 					Labels: ls,
 					Hist:   latencyHistData(t.ExecHist, t.ExecLatency.Seconds()),
@@ -195,7 +199,7 @@ func NewClusterCollector(c *dsps.Cluster) Collector {
 
 		fams := []Family{
 			executed, emitted, acked, failed, dropped, batches, bpWaits,
-			queueLen, execHist, completeHist,
+			queueLen, ringDepth, ringParks, execHist, completeHist,
 			compExecuted, compEmitted, compAcked, compFailed, compDropped,
 			compParallelism, compRetired, compQueueLen, compExecHist,
 			scaleUps, scaleDowns, routeEpoch, scaleRetired,

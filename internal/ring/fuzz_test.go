@@ -1,0 +1,86 @@
+package ring
+
+import "testing"
+
+// FuzzRingBatchOps model-checks the ring against a plain slice FIFO.
+// Each input byte drives one operation (single push, batch push, single
+// pop, batch pop, len query); the low bits pick batch sizes so the
+// fuzzer explores wrap-around, exact-full, and exact-empty boundaries
+// on rings of varying capacity.
+func FuzzRingBatchOps(f *testing.F) {
+	f.Add(uint8(8), []byte{0, 0, 0, 2, 2, 1, 3})
+	f.Add(uint8(1), []byte{0, 0, 2, 2, 0, 2})
+	f.Add(uint8(3), []byte{1, 1, 1, 3, 3, 3, 4})
+	f.Add(uint8(200), []byte{1, 0, 3, 2, 1, 0, 3, 2, 4, 4})
+	f.Fuzz(func(t *testing.T, capByte uint8, ops []byte) {
+		capacity := int(capByte%64) + 1
+		r, ok := New[uint64](capacity)
+		if !ok {
+			t.Fatalf("New(%d) rejected", capacity)
+		}
+		var model []uint64
+		next := uint64(0)
+		scratch := make([]uint64, 70)
+		for _, op := range ops {
+			switch op % 5 {
+			case 0: // single push
+				want := len(model) < r.Cap()
+				if got := r.Push(next); got != want {
+					t.Fatalf("Push -> %v with %d/%d buffered", got, len(model), r.Cap())
+				}
+				if want {
+					model = append(model, next)
+				}
+				next++
+			case 1: // batch push
+				n := int(op/5)%len(scratch) + 1
+				for i := 0; i < n; i++ {
+					scratch[i] = next + uint64(i)
+				}
+				free := r.Cap() - len(model)
+				want := n
+				if want > free {
+					want = free
+				}
+				if got := r.PushBatch(scratch[:n]); got != want {
+					t.Fatalf("PushBatch(%d) -> %d, want %d (free %d)", n, got, want, free)
+				}
+				model = append(model, scratch[:want]...)
+				next += uint64(want)
+			case 2: // single pop
+				v, got := r.Pop()
+				if want := len(model) > 0; got != want {
+					t.Fatalf("Pop -> %v with %d buffered", got, len(model))
+				}
+				if got {
+					if v != model[0] {
+						t.Fatalf("Pop = %d, want %d", v, model[0])
+					}
+					model = model[1:]
+				}
+			case 3: // batch pop
+				n := int(op/5)%len(scratch) + 1
+				want := n
+				if want > len(model) {
+					want = len(model)
+				}
+				if got := r.PopBatch(scratch[:n]); got != want {
+					t.Fatalf("PopBatch(%d) -> %d, want %d", n, got, want)
+				}
+				for i := 0; i < want; i++ {
+					if scratch[i] != model[i] {
+						t.Fatalf("PopBatch[%d] = %d, want %d", i, scratch[i], model[i])
+					}
+				}
+				model = model[want:]
+			case 4: // invariants
+				if r.Len() != len(model) {
+					t.Fatalf("Len = %d, model %d", r.Len(), len(model))
+				}
+				if r.Empty() != (len(model) == 0) {
+					t.Fatalf("Empty = %v with %d buffered", r.Empty(), len(model))
+				}
+			}
+		}
+	})
+}

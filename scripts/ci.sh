@@ -1,10 +1,10 @@
 #!/usr/bin/env sh
 # CI gate: vet, gofmt, the dspslint invariant linter, doccheck, build, full test
 # suite, the race detector over the packages with real concurrency
-# (training engine, stream engine, chaos harness, prediction server), a
-# one-iteration benchmark smoke, a short chaos soak against the live
-# engine, and a fuzz smoke over each native fuzz target. Run via
-# `make ci` or directly.
+# (training engine, stream engine, SPSC ring plane, chaos harness,
+# prediction server), a one-iteration benchmark smoke, a short chaos
+# soak against the live engine, and a fuzz smoke over each native fuzz
+# target. Run via `make ci` or directly.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -36,8 +36,8 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (nn, dsps, chaos, serve) =="
-go test -race ./internal/nn/... ./internal/dsps/... ./internal/chaos/... ./internal/serve/...
+echo "== go test -race (nn, dsps, ring, chaos, serve) =="
+go test -race ./internal/nn/... ./internal/dsps/... ./internal/ring/... ./internal/chaos/... ./internal/serve/...
 
 echo "== bench smoke (1 iteration per benchmark) =="
 make bench-smoke
@@ -50,6 +50,7 @@ go test -fuzz='^FuzzChaosSchedule$' -run '^$' -fuzztime 10s ./internal/chaos/
 go test -fuzz='^FuzzGroupingRatios$' -run '^$' -fuzztime 10s ./internal/dsps/
 go test -fuzz='^FuzzHistogramQuantile$' -run '^$' -fuzztime 10s ./internal/dsps/
 go test -fuzz='^FuzzAckerTrees$' -run '^$' -fuzztime 10s ./internal/dsps/
+go test -fuzz='^FuzzRingBatchOps$' -run '^$' -fuzztime 10s ./internal/ring/
 go test -fuzz='^FuzzServeWireFrame$' -run '^$' -fuzztime 10s ./internal/serve/
 
 echo "CI OK"

@@ -5,12 +5,17 @@ GO ?= go
 build:
 	$(GO) build ./...
 
-# Invariant linter: stdlib-only static analysis (cmd/dspslint) enforcing
-# the determinism, hot-path, and concurrency rules. Exit 1 on findings.
+# Invariant linter: stdlib-only interprocedural static analysis
+# (cmd/dspslint) enforcing the determinism, hot-path 0-alloc, lock-order,
+# and goroutine-lifecycle rules. Exit 1 on findings or on suppression
+# drift against the committed baseline; -timings prints per-stage wall
+# time (load, callgraph, each analyzer).
 lint:
-	$(GO) run ./cmd/dspslint ./...
+	$(GO) run ./cmd/dspslint -timings -baseline LINT_BASELINE.json ./...
 
-# Regenerate the committed machine-readable lint baseline.
+# Regenerate the committed machine-readable lint baseline (schema v2:
+# per-analyzer counts, call-graph size, suppressions, alloc exemptions,
+# per-stage timings).
 lint-baseline:
 	$(GO) run ./cmd/dspslint -summary LINT_BASELINE.json ./...
 
@@ -25,10 +30,11 @@ test:
 # Race-detector pass over the concurrent packages: the data-parallel
 # training engine (internal/nn), the stream engine (internal/dsps), the
 # SPSC ring plane under it (internal/ring), the chaos harness that
-# hammers it (internal/chaos), and the prediction server's coalescer and
-# load-test harness (internal/serve).
+# hammers it (internal/chaos), the prediction server's coalescer and
+# load-test harness (internal/serve), and the linter's parallel package
+# loader (internal/analysis).
 race:
-	$(GO) test -race ./internal/nn/... ./internal/dsps/... ./internal/ring/... ./internal/chaos/... ./internal/serve/...
+	$(GO) test -race ./internal/nn/... ./internal/dsps/... ./internal/ring/... ./internal/chaos/... ./internal/serve/... ./internal/analysis/...
 
 ci:
 	sh scripts/ci.sh

@@ -10,8 +10,13 @@
 // Exit code 0 = clean, 1 = findings, 2 = load/type/usage failure.
 //
 // Run `dspslint -list` for the analyzers and the invariants they guard;
-// see DESIGN.md "Static analysis" for the directive grammar
-// (//dsps:hotpath, //dsps:deterministic, //dspslint:ignore).
+// see DESIGN.md "Static analysis v2" and docs/DIRECTIVES.md for the
+// directive grammar (//dsps:hotpath, //dsps:coldpath, //dsps:allocs,
+// //dsps:deterministic, //dsps:owned-goroutines, //dspslint:ignore).
+//
+// `dspslint -graph <func>` dumps the call-graph subtree reachable from
+// the named function in Graphviz DOT form; `-baseline FILE` verifies the
+// run against the committed suppression baseline and fails on drift.
 package main
 
 import (
@@ -32,13 +37,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dspslint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		jsonOut = fs.Bool("json", false, "emit the full report as JSON")
-		enable  = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
-		disable = fs.String("disable", "", "comma-separated analyzers to skip")
-		tests   = fs.Bool("tests", true, "include _test.go files and external test packages")
-		summary = fs.String("summary", "", "write the machine-readable baseline summary to this file")
-		list    = fs.Bool("list", false, "list analyzers and exit")
-		chdir   = fs.String("C", "", "resolve package patterns relative to this directory")
+		jsonOut  = fs.Bool("json", false, "emit the full report as JSON")
+		enable   = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable  = fs.String("disable", "", "comma-separated analyzers to skip")
+		tests    = fs.Bool("tests", true, "include _test.go files and external test packages")
+		summary  = fs.String("summary", "", "write the machine-readable baseline summary to this file")
+		baseline = fs.String("baseline", "", "verify suppressions against this committed baseline; drift fails the run")
+		timings  = fs.Bool("timings", false, "print per-stage wall time (load, callgraph, each analyzer)")
+		graph    = fs.String("graph", "", "dump the call-graph subtree reachable from this function as Graphviz DOT and exit")
+		list     = fs.Bool("list", false, "list analyzers and exit")
+		chdir    = fs.String("C", "", "resolve package patterns relative to this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -49,7 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	return analysis.Run(analysis.Config{
+	cfg := analysis.Config{
 		Dir:          *chdir,
 		Patterns:     fs.Args(),
 		Enable:       splitList(*enable),
@@ -57,9 +65,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		IncludeTests: *tests,
 		JSON:         *jsonOut,
 		SummaryPath:  *summary,
+		BaselinePath: *baseline,
+		Timings:      *timings,
 		Stdout:       stdout,
 		Stderr:       stderr,
-	})
+	}
+	if *graph != "" {
+		dot, err := analysis.DumpDOT(cfg, *graph)
+		if err != nil {
+			fmt.Fprintf(stderr, "dspslint: %v\n", err)
+			return 2
+		}
+		fmt.Fprint(stdout, dot)
+		return 0
+	}
+	return analysis.Run(cfg)
 }
 
 func splitList(s string) []string {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -11,7 +13,7 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errBuf); code != 0 {
 		t.Fatalf("-list exited %d, stderr: %s", code, errBuf.String())
 	}
-	for _, name := range []string{"atomicmix", "globalrand", "lockedsend", "maporder", "walltime"} {
+	for _, name := range []string{"allocfree", "atomicmix", "globalrand", "goroleak", "lockedsend", "lockorder", "maporder", "ringmisuse", "splicesend", "walltime"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
 		}
@@ -43,6 +45,57 @@ func TestRunCorpusFindings(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "time.Now in hot-path function") {
 		t.Errorf("expected a walltime finding in output:\n%s", out.String())
+	}
+}
+
+// TestRunGraphDump smoke-tests `dspslint -graph`: the allocfree corpus's
+// hot root renders as a DOT digraph reaching its transitive callees.
+func TestRunGraphDump(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-C", "../../internal/analysis/testdata/allocfree", "-graph", "emitFast", "."}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("-graph exited %d (stderr: %s)", code, errBuf.String())
+	}
+	for _, needle := range []string{"digraph callgraph", "emitFast", "stage", "record", "->"} {
+		if !strings.Contains(out.String(), needle) {
+			t.Errorf("DOT output missing %q:\n%s", needle, out.String())
+		}
+	}
+	if code := run([]string{"-C", "../../internal/analysis/testdata/allocfree", "-graph", "noSuchFunc", "."}, &out, &errBuf); code != 2 {
+		t.Fatalf("-graph with unknown root exited %d, want 2", code)
+	}
+}
+
+// TestRunBaselineDrift pins the CLI wiring of suppression-drift
+// detection: a baseline recording a suppression that no longer exists
+// (and missing the live ones) fails the run with actionable messages.
+func TestRunBaselineDrift(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	stale := `{"schema": 2, "suppressions": [{"analyzer": "walltime", "position": "gone.go:1:1", "reason": "deleted"}]}`
+	if err := os.WriteFile(path, []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-C", "../../internal/analysis/testdata/walltime", "-enable", "walltime", "-baseline", path, "."}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("drifted baseline exited %d, want 1 (stderr: %s)", code, errBuf.String())
+	}
+	for _, needle := range []string{"stale suppression", "unrecorded suppression"} {
+		if !strings.Contains(errBuf.String(), needle) {
+			t.Errorf("stderr missing %q:\n%s", needle, errBuf.String())
+		}
+	}
+}
+
+// TestRunTimings checks the -timings rendering: per-stage wall times for
+// the load, the call-graph build, and each active analyzer.
+func TestRunTimings(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	run([]string{"-C", "../../internal/analysis/testdata/walltime", "-enable", "walltime", "-timings", "."}, &out, &errBuf)
+	for _, needle := range []string{"timings: load", "callgraph", "walltime"} {
+		if !strings.Contains(out.String(), needle) {
+			t.Errorf("-timings output missing %q:\n%s", needle, out.String())
+		}
 	}
 }
 

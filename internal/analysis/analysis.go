@@ -6,18 +6,47 @@
 // are one careless PR away from silently regressing; the analyzers here turn
 // them into build failures with file:line positions.
 //
+// Since v2 the framework is interprocedural: after type-checking, the
+// driver builds a module-wide call graph (see callgraph.go) and
+// propagates //dsps:hotpath and determinism taint transitively, so the
+// hot-path and determinism analyzers apply to every function reachable
+// from an annotated root, not just the annotated body. docs/DIRECTIVES.md
+// is the one-page reference for the directive grammar.
+//
 // Directive grammar (all line comments):
 //
 //	//dsps:hotpath
-//	    In a function's doc comment: marks the function as data-plane
-//	    hot path. The walltime analyzer bans time.Now/Since/Until inside.
+//	    In a function's doc comment: marks the function as a data-plane
+//	    hot-path root. The walltime and allocfree analyzers check the
+//	    function and everything statically reachable from it.
+//
+//	//dsps:coldpath
+//	    In a function's doc comment: cuts hot-path taint propagation.
+//	    The function is a documented cold sub-path (setup, growth,
+//	    drain) that a hot caller legitimately reaches; neither it nor
+//	    its callees inherit hot-path taint through this edge.
+//
+//	//dsps:allocs <justification>
+//	    In a function's doc comment: declares the function a designed
+//	    amortized allocation point on the hot path (arena refill,
+//	    free-list fallback). allocfree skips the function's own body but
+//	    still checks and taints its callees; the justification is carried
+//	    into the report and the committed baseline.
 //
 //	//dsps:deterministic
 //	    In a file's package doc comment: marks the whole package as
 //	    seed-deterministic, enabling the globalrand and maporder
 //	    analyzers. The engine packages (internal/dsps, internal/chaos,
 //	    internal/nn) are always treated as deterministic regardless, so
-//	    deleting the directive cannot disable enforcement.
+//	    deleting the directive cannot disable enforcement. Determinism
+//	    taint also propagates: functions in other packages reachable
+//	    from a deterministic package are checked too.
+//
+//	//dsps:owned-goroutines
+//	    In a file's package doc comment: every `go` statement in the
+//	    package (non-test files) must have a statically visible stop or
+//	    wait path (goroleak). internal/dsps, internal/serve, and
+//	    internal/obs are always treated as owned regardless.
 //
 //	//dspslint:ignore <analyzer>[,<analyzer>...] <justification>
 //	    Suppresses findings of the listed analyzers (or `*` for all) on
@@ -40,11 +69,17 @@ import (
 // hides them.
 const (
 	hotpathDirective       = "dsps:hotpath"
+	coldpathDirective      = "dsps:coldpath"
+	allocsDirective        = "dsps:allocs"
 	deterministicDirective = "dsps:deterministic"
+	ownedGoroDirective     = "dsps:owned-goroutines"
 	ignoreDirective        = "dspslint:ignore"
 )
 
-// An Analyzer checks one invariant across a package.
+// An Analyzer checks one invariant. Per-package analyzers implement Run
+// and are invoked once per loaded package; module analyzers implement
+// RunModule and are invoked exactly once with the whole call graph (so a
+// cross-package cycle is reported once, not once per package).
 type Analyzer struct {
 	// Name is the analyzer's identifier, used in -enable/-disable flags,
 	// ignore directives, and diagnostics.
@@ -53,14 +88,20 @@ type Analyzer struct {
 	Doc string
 	// Run inspects the package held by pass and reports findings.
 	Run func(pass *Pass)
+	// RunModule inspects the whole module via pass.Mod. Exactly one of
+	// Run/RunModule is set.
+	RunModule func(pass *Pass)
 }
 
 // Analyzers returns the full registry in stable (alphabetical) order.
 func Analyzers() []*Analyzer {
 	all := []*Analyzer{
+		AllocFree,
 		AtomicMix,
 		GlobalRand,
+		GoroLeak,
 		LockedSend,
+		LockOrder,
 		MapOrder,
 		RingMisuse,
 		SpliceSend,
@@ -82,7 +123,10 @@ type Diagnostic struct {
 	Reason     string `json:"reason,omitempty"` // the directive's justification
 }
 
-// A Pass carries one analyzer's view of one type-checked package.
+// A Pass carries one analyzer's view of one type-checked package, plus
+// the module-wide call graph shared by every pass. Module-scoped
+// analyzers (RunModule) receive a Pass with only Analyzer, Fset, Mod,
+// and the diagnostic sink populated.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
@@ -92,6 +136,9 @@ type Pass struct {
 	// Deterministic is true for packages under the engine's seeded-
 	// determinism contract (built-in path list or //dsps:deterministic).
 	Deterministic bool
+	// Mod is the module-wide view: all loaded packages and the call
+	// graph with hot-path and determinism taint already propagated.
+	Mod *Module
 
 	diags *[]Diagnostic
 }
@@ -188,12 +235,31 @@ func hasDirective(cg *ast.CommentGroup, directive string) bool {
 	return false
 }
 
+// directiveArg returns the text following the given directive in cg
+// ("", false when the directive is absent).
+func directiveArg(cg *ast.CommentGroup, directive string) (string, bool) {
+	if cg == nil {
+		return "", false
+	}
+	for _, c := range cg.List {
+		rest, ok := strings.CutPrefix(c.Text, "//"+directive)
+		if ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t') {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
 // isHotpath reports whether fn's doc comment carries //dsps:hotpath.
 func isHotpath(fn *ast.FuncDecl) bool { return hasDirective(fn.Doc, hotpathDirective) }
 
 // fileDeterministic reports whether the file's package doc carries
 // //dsps:deterministic.
 func fileDeterministic(f *ast.File) bool { return hasDirective(f.Doc, deterministicDirective) }
+
+// fileOwnedGoroutines reports whether the file's package doc carries
+// //dsps:owned-goroutines.
+func fileOwnedGoroutines(f *ast.File) bool { return hasDirective(f.Doc, ownedGoroDirective) }
 
 // funcLabel names a function declaration for diagnostics, including the
 // receiver type for methods.

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -93,8 +94,104 @@ func TestWallTimeCatchesInjectedNow(t *testing.T) {
 	}
 }
 
+// TestWallTimeTransitivePropagation pins the interprocedural acceptance
+// criterion: a time.Now two static calls below a //dsps:hotpath root is
+// reported against the un-annotated callee, with the witness chain from
+// the root in the message.
+func TestWallTimeTransitivePropagation(t *testing.T) {
+	rep, err := Analyze(Config{
+		Dir:      filepath.Join("testdata", "walltime"),
+		Patterns: []string{"."},
+		Enable:   []string{"walltime"},
+	})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	found := false
+	for _, d := range rep.Findings {
+		if strings.Contains(d.Message, "time.Now in stampDeep") &&
+			strings.Contains(d.Message, "hotRoot") &&
+			strings.Contains(d.Message, "middle") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("walltime did not report the time.Now two calls below hotRoot with its witness chain; findings: %+v", rep.Findings)
+	}
+}
+
+// TestAllocFreeCatchesInjectedBoxing pins the 0-alloc acceptance
+// criterion: the corpus's interface boxing injected two calls below the
+// hot root fails the run, carrying the call-graph witness chain.
+func TestAllocFreeCatchesInjectedBoxing(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := Run(Config{
+		Dir:      filepath.Join("testdata", "allocfree"),
+		Patterns: []string{"."},
+		Enable:   []string{"allocfree"},
+		Stdout:   &out,
+		Stderr:   &errBuf,
+	})
+	if code != 1 {
+		t.Fatalf("boxing corpus must fail lint; got exit %d (stderr: %s)", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "boxes on the heap in record") ||
+		!strings.Contains(out.String(), "emitFast") {
+		t.Fatalf("missing transitive boxing finding with witness chain:\n%s", out.String())
+	}
+}
+
+// TestBaselineSuppressionDrift pins both drift directions: a recorded
+// suppression with no live directive behind it (stale) and a live
+// suppression the baseline never recorded (unrecorded) each fail the
+// baseline check with an actionable message.
+func TestBaselineSuppressionDrift(t *testing.T) {
+	rep := &Report{Suppressed: []Diagnostic{
+		{Analyzer: "walltime", Position: "a/b.go:10:2", Reason: "justified"},
+	}}
+	write := func(s Summary) string {
+		path := filepath.Join(t.TempDir(), "baseline.json")
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	exact := write(Summary{Schema: 2, Suppressions: []SummarySuppression{
+		{Analyzer: "walltime", Position: "a/b.go:10:2", Reason: "justified"},
+	}})
+	drift, err := VerifyBaseline(exact, rep)
+	if err != nil || len(drift) != 0 {
+		t.Fatalf("matching baseline must verify clean, got %v (%v)", drift, err)
+	}
+
+	stale := write(Summary{Schema: 2, Suppressions: []SummarySuppression{
+		{Analyzer: "walltime", Position: "a/b.go:10:2", Reason: "justified"},
+		{Analyzer: "maporder", Position: "gone.go:3:1", Reason: "deleted long ago"},
+	}})
+	drift, err = VerifyBaseline(stale, rep)
+	if err != nil || len(drift) != 1 || !strings.Contains(drift[0], "stale suppression") {
+		t.Fatalf("stale recorded suppression must drift, got %v (%v)", drift, err)
+	}
+
+	empty := write(Summary{Schema: 2})
+	drift, err = VerifyBaseline(empty, rep)
+	if err != nil || len(drift) != 1 || !strings.Contains(drift[0], "unrecorded suppression") {
+		t.Fatalf("unrecorded live suppression must drift, got %v (%v)", drift, err)
+	}
+
+	if _, err := VerifyBaseline(filepath.Join(t.TempDir(), "missing.json"), rep); err == nil {
+		t.Fatalf("unreadable baseline must be a hard error, not silent drift")
+	}
+}
+
 // TestRepoIsLintClean is the driver self-test: dspslint over the whole
-// repository must exit clean, with all five analyzers active.
+// repository must exit clean, with the full analyzer registry active and
+// a non-trivial call graph behind the interprocedural passes.
 func TestRepoIsLintClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")
@@ -107,8 +204,11 @@ func TestRepoIsLintClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Analyze: %v", err)
 	}
-	if len(rep.Analyzers) < 5 {
-		t.Fatalf("want >= 5 analyzers active, got %v", rep.Analyzers)
+	if len(rep.Analyzers) < 10 {
+		t.Fatalf("want >= 10 analyzers active, got %v", rep.Analyzers)
+	}
+	if rep.CallGraph.Nodes < 100 || rep.CallGraph.Edges < 100 {
+		t.Errorf("suspiciously small call graph: %+v (builder regression?)", rep.CallGraph)
 	}
 	for _, e := range rep.TypeErrors {
 		t.Errorf("type error: %s", e)
@@ -149,15 +249,15 @@ func TestDeterministicMarking(t *testing.T) {
 // TestSelectAnalyzers covers the enable/disable flag plumbing.
 func TestSelectAnalyzers(t *testing.T) {
 	all, err := selectAnalyzers(nil, nil)
-	if err != nil || len(all) != 7 {
-		t.Fatalf("want all 7 analyzers, got %d (%v)", len(all), err)
+	if err != nil || len(all) != 10 {
+		t.Fatalf("want all 10 analyzers, got %d (%v)", len(all), err)
 	}
 	only, err := selectAnalyzers([]string{"walltime"}, nil)
 	if err != nil || len(only) != 1 || only[0].Name != "walltime" {
 		t.Fatalf("enable=walltime: got %v (%v)", only, err)
 	}
 	rest, err := selectAnalyzers(nil, []string{"walltime", "maporder"})
-	if err != nil || len(rest) != 5 {
+	if err != nil || len(rest) != 8 {
 		t.Fatalf("disable two: got %d (%v)", len(rest), err)
 	}
 	if _, err := selectAnalyzers([]string{"nope"}, nil); err == nil {

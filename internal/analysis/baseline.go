@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// VerifyBaseline checks a completed run against the committed baseline
+// (LINT_BASELINE.json) and returns one message per drift:
+//
+//   - A recorded suppression whose (analyzer, position) no longer
+//     matches a live //dspslint:ignore-covered finding is STALE: the
+//     code moved or the directive was deleted, and the baseline still
+//     vouches for it. Before v2 this drifted silently; now it fails the
+//     run until the baseline is regenerated (`make lint-baseline`).
+//   - A live suppression that the baseline does not record is
+//     UNRECORDED drift in the other direction: a new //dspslint:ignore
+//     landed without the baseline diff that makes suppression creep
+//     reviewable.
+//
+// The error return is reserved for an unreadable or unparsable baseline
+// file.
+func VerifyBaseline(path string, r *Report) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	var base Summary
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+
+	type key struct{ analyzer, position string }
+	current := map[key]bool{}
+	for _, d := range r.Suppressed {
+		current[key{d.Analyzer, d.Position}] = true
+	}
+	recorded := map[key]bool{}
+	var drift []string
+	for _, s := range base.Suppressions {
+		recorded[key{s.Analyzer, s.Position}] = true
+		if !current[key{s.Analyzer, s.Position}] {
+			drift = append(drift, fmt.Sprintf(
+				"stale suppression: %s (%s) is recorded in %s but no //dspslint:ignore directive covers a finding there anymore; regenerate with `make lint-baseline`",
+				s.Position, s.Analyzer, path))
+		}
+	}
+	for _, d := range r.Suppressed {
+		if !recorded[key{d.Analyzer, d.Position}] {
+			drift = append(drift, fmt.Sprintf(
+				"unrecorded suppression: %s (%s) is suppressed in the source but missing from %s; regenerate with `make lint-baseline`",
+				d.Position, d.Analyzer, path))
+		}
+	}
+	return drift, nil
+}

@@ -24,27 +24,40 @@ var globalRandAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf
 
 func runGlobalRand(pass *Pass) {
 	if !pass.Deterministic {
+		// Determinism taint: functions here that a deterministic package
+		// statically reaches still run under seeded replay, so their
+		// global-source draws break it just the same.
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				node := pass.Mod.Graph.NodeAt(fn)
+				if node == nil || !node.DetTainted {
+					continue
+				}
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					if sel, ok := globalRandUse(pass, n); ok {
+						pass.Reportf(sel.Pos(),
+							"rand.%s draws from the process-global source in %s, reachable from deterministic code via %s; use an explicitly seeded rand.New(rand.NewSource(seed))",
+							sel.Sel.Name, funcLabel(fn), node.DetChain())
+					}
+					return true
+				})
+			}
+		}
 		return
 	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.SelectorExpr:
-				if globalRandAllowed[n.Sel.Name] {
-					return true
+				if sel, ok := globalRandUse(pass, n); ok {
+					pass.Reportf(sel.Pos(),
+						"rand.%s draws from the process-global source; use an explicitly seeded rand.New(rand.NewSource(seed))",
+						sel.Sel.Name)
 				}
-				if !pass.pkgNamed(n.X, "math/rand") && !pass.pkgNamed(n.X, "math/rand/v2") {
-					return true
-				}
-				// Only package-level functions draw from the global
-				// source; selecting a type (rand.Rand, rand.Source) or a
-				// constant is fine.
-				if _, ok := pass.Info.Uses[n.Sel].(*types.Func); !ok {
-					return true
-				}
-				pass.Reportf(n.Pos(),
-					"rand.%s draws from the process-global source; use an explicitly seeded rand.New(rand.NewSource(seed))",
-					n.Sel.Name)
 			case *ast.GenDecl:
 				// Package-level var of type rand.Rand / *rand.Rand: shared
 				// mutable state whose draw order depends on goroutine
@@ -73,6 +86,24 @@ func runGlobalRand(pass *Pass) {
 			return true // keep walking: var initializers may call rand.*
 		})
 	}
+}
+
+// globalRandUse matches a selector that draws from the process-global
+// math/rand source.
+func globalRandUse(pass *Pass, n ast.Node) (*ast.SelectorExpr, bool) {
+	sel, ok := n.(*ast.SelectorExpr)
+	if !ok || globalRandAllowed[sel.Sel.Name] {
+		return nil, false
+	}
+	if !pass.pkgNamed(sel.X, "math/rand") && !pass.pkgNamed(sel.X, "math/rand/v2") {
+		return nil, false
+	}
+	// Only package-level functions draw from the global source; selecting
+	// a type (rand.Rand, rand.Source) or a constant is fine.
+	if _, ok := pass.Info.Uses[sel.Sel].(*types.Func); !ok {
+		return nil, false
+	}
+	return sel, true
 }
 
 // isRandRand reports whether t is math/rand.Rand (possibly behind a

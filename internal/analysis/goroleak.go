@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoroLeak checks goroutine lifecycle discipline in the runtime packages
+// (internal/dsps, internal/serve, internal/obs — plus any package opting
+// in with //dsps:owned-goroutines): every `go` statement in non-test
+// code must have a statically visible stop or wait path, because the
+// elastic runtime's whole contract is that Stop() joins everything it
+// started. A goroutine qualifies when its body (or any function it
+// statically reaches on its own goroutine) contains one of:
+//
+//   - a channel operation: send, receive, close, range over a channel,
+//     or a select — the goroutine participates in a shutdown protocol
+//     (done-channel close, context cancellation via <-ctx.Done(), or a
+//     work channel whose close drains it out)
+//   - sync.WaitGroup.Done — the spawner can Wait for it
+//
+// Bodies the module cannot see — `go externalFn(…)` into the stdlib, or
+// a spawn through a func value — are reported as unverifiable rather
+// than silently trusted; justify those sites with //dspslint:ignore.
+// The check is shape-level, not a liveness proof: it catches the
+// fire-and-forget goroutine with no join protocol at all, which is the
+// leak class that actually bites long-running stream workers.
+var GoroLeak = &Analyzer{
+	Name:      "goroleak",
+	Doc:       "go statement without a reachable stop/wait path (channel op, select, or WaitGroup.Done) in goroutine-owning packages",
+	RunModule: runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	mod := pass.Mod
+	for _, pkg := range mod.Packages {
+		if !pkg.OwnedGoroutines {
+			continue
+		}
+		for _, f := range pkg.Files {
+			file := pass.Fset.Position(f.Pos()).Filename
+			if strings.HasSuffix(file, "_test.go") {
+				continue // tests join through the testing harness and t.Cleanup
+			}
+			info := pkg.Info
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(pass, info, g)
+				return true
+			})
+		}
+	}
+}
+
+// checkGoStmt classifies one `go` statement's target and reports when no
+// stop/wait path is visible.
+func checkGoStmt(pass *Pass, info *types.Info, g *ast.GoStmt) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		if !bodyHasStopPath(pass, info, lit.Body, map[*FuncNode]bool{}) {
+			pass.Reportf(g.Pos(),
+				"goroutine has no visible stop or wait path (no channel op, select, or WaitGroup.Done anywhere it reaches); the runtime cannot join it on shutdown")
+		}
+		return
+	}
+	fn, _ := resolveCallee(info, g.Call)
+	if fn == nil {
+		pass.Reportf(g.Pos(),
+			"goroutine spawned through a func value; its stop/wait path cannot be verified statically — name the function or justify with //dspslint:ignore")
+		return
+	}
+	node := pass.Mod.Graph.Nodes[funcObjKey(fn)]
+	if node == nil || node.External() {
+		pass.Reportf(g.Pos(),
+			"goroutine runs %s, whose body is outside the loaded module; its stop/wait path cannot be verified statically — justify with //dspslint:ignore",
+			externalLabel(fn))
+		return
+	}
+	if !nodeHasStopPath(pass, node, map[*FuncNode]bool{}) {
+		pass.Reportf(g.Pos(),
+			"goroutine runs %s, which has no visible stop or wait path (no channel op, select, or WaitGroup.Done anywhere it reaches); the runtime cannot join it on shutdown",
+			node.Label)
+	}
+}
+
+// nodeHasStopPath reports whether fn's body, or any loaded function it
+// statically calls on the same goroutine, contains a stop/wait signal.
+func nodeHasStopPath(pass *Pass, node *FuncNode, visited map[*FuncNode]bool) bool {
+	if visited[node] {
+		return false
+	}
+	visited[node] = true
+	if node.Decl == nil || node.Decl.Body == nil || node.Pkg == nil {
+		return false
+	}
+	return bodyHasStopPath(pass, node.Pkg.Info, node.Decl.Body, visited)
+}
+
+// bodyHasStopPath scans one body for a stop/wait signal, descending into
+// statically resolved callees. Nested `go` literals are skipped — a
+// signal in a grandchild goroutine does not join the child.
+func bodyHasStopPath(pass *Pass, info *types.Info, body ast.Node, visited map[*FuncNode]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false // a further goroutine's signals are its own
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if isStopCall(info, n) {
+				found = true
+				return false
+			}
+			if fn, _ := resolveCallee(info, n); fn != nil {
+				if callee := pass.Mod.Graph.Nodes[funcObjKey(fn)]; callee != nil &&
+					nodeHasStopPath(pass, callee, visited) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isStopCall matches the non-channel signals: close(ch) (the goroutine
+// signals its own completion) and sync.WaitGroup.Done.
+func isStopCall(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok && b.Name() == "close" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Done" {
+			if fn, ok := info.Uses[fun.Sel].(*types.Func); ok &&
+				strings.HasPrefix(fn.FullName(), "(*sync.WaitGroup).") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,486 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds a module-wide mutex acquisition-order graph and
+// reports cycles — the two-lock shape of a classic AB/BA deadlock that
+// no single function exhibits and lockedsend therefore cannot see.
+//
+// Locks are classified by declaration site, not instance: a Lock/RLock
+// call on a named struct field (s.mu, owner.shards[i].mu) or a
+// package-level mutex var contributes the class "pkg.Type.field" /
+// "pkg.var". Within one function, acquiring B while holding A adds the
+// edge A→B; a call made while holding A adds A→B for every class B the
+// callee may transitively acquire (call/defer edges only — a spawned
+// goroutine synchronizes through the lock, it does not extend the
+// caller's critical section). `defer mu.Unlock()` keeps the lock held to
+// function exit, so orderings established after it still count.
+//
+// Two deliberate imprecisions, both conservative in opposite directions:
+// locks on local variables have no class (unnamable, skipped), and
+// same-class pairs are not reported as edges — holding shards[i].mu
+// while a callee locks shards[j].mu is how sharded structures work, and
+// instance identity is beyond static reach. Re-acquiring the *same
+// expression* while it is already held is reported directly: a
+// sync.Mutex self-deadlocks re-entrantly.
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "inconsistent mutex acquisition order across functions (AB/BA deadlock shape), and re-entrant locking",
+	RunModule: runLockOrder,
+}
+
+// lockEvidence is one witness for an acquisition-order edge A→B.
+type lockEvidence struct {
+	pos token.Pos
+	via string // callee label when the edge crosses a call, "" when direct
+}
+
+// heldCall records a static call made while holding at least one
+// classified lock.
+type heldCall struct {
+	callee *FuncNode
+	held   []string
+	pos    token.Pos
+}
+
+func runLockOrder(pass *Pass) {
+	mod := pass.Mod
+	direct := map[*FuncNode]map[string]bool{}
+	edges := map[string]map[string]*lockEvidence{}
+	var calls []heldCall
+
+	addEdge := func(from, to string, ev *lockEvidence) {
+		m := edges[from]
+		if m == nil {
+			m = map[string]*lockEvidence{}
+			edges[from] = m
+		}
+		if m[to] == nil { // first witness wins; package order keeps it stable
+			m[to] = ev
+		}
+	}
+
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				node := mod.Graph.NodeAt(fn)
+				if node == nil {
+					continue
+				}
+				s := &lockScanner{
+					pass:    pass,
+					info:    pkg.Info,
+					node:    node,
+					addEdge: addEdge,
+					acquire: func(class string) {
+						set := direct[node]
+						if set == nil {
+							set = map[string]bool{}
+							direct[node] = set
+						}
+						set[class] = true
+					},
+					calls: &calls,
+				}
+				s.block(fn.Body.List, map[string]string{})
+			}
+		}
+	}
+
+	// Close acquisition sets over call/defer edges, then turn every
+	// call-under-lock into order edges against what the callee may take.
+	trans := transitiveAcquires(mod.Graph, direct)
+	for _, hc := range calls {
+		for to := range trans[hc.callee] {
+			for _, from := range hc.held {
+				if from != to {
+					addEdge(from, to, &lockEvidence{pos: hc.pos, via: hc.callee.Label})
+				}
+			}
+		}
+	}
+
+	reportLockCycles(pass, edges)
+}
+
+// lockScanner walks one function body in statement order, tracking held
+// locks as exprKey→class.
+type lockScanner struct {
+	pass    *Pass
+	info    *types.Info
+	node    *FuncNode
+	addEdge func(from, to string, ev *lockEvidence)
+	acquire func(class string)
+	calls   *[]heldCall
+}
+
+func (s *lockScanner) block(stmts []ast.Stmt, held map[string]string) {
+	for _, stmt := range stmts {
+		if call, key, class, kind, ok := s.mutexOp(stmt); ok {
+			switch kind {
+			case "Lock", "RLock":
+				if prev, already := held[key]; already {
+					s.pass.Reportf(call.Pos(),
+						"%s (%s) locked again while already held by this function; a sync.%s self-deadlocks re-entrantly",
+						key, prev, mutexKind(s.info, call))
+					continue
+				}
+				if class != "" {
+					s.acquire(class)
+					for _, heldClass := range held {
+						if heldClass != class && heldClass != "" {
+							s.addEdge(heldClass, class, &lockEvidence{pos: call.Pos()})
+						}
+					}
+				}
+				held[key] = class
+			case "Unlock", "RUnlock":
+				delete(held, key)
+			}
+			continue
+		}
+		// `defer mu.Unlock()` keeps the lock held to function exit: do
+		// NOT clear it — later acquisitions still order against it.
+		if d, ok := stmt.(*ast.DeferStmt); ok {
+			if _, _, _, kind, ok := s.mutexOp(&ast.ExprStmt{X: d.Call}); ok &&
+				(kind == "Unlock" || kind == "RUnlock") {
+				continue
+			}
+		}
+		if len(held) > 0 {
+			s.recordCalls(stmt, held)
+		}
+		for _, body := range nestedBlocks(stmt) {
+			s.block(body, copyHeldClasses(held))
+		}
+	}
+}
+
+// recordCalls collects static calls inside stmt's own expressions (not
+// nested blocks — block recurses into those — nor function literals,
+// which run outside this critical section).
+func (s *lockScanner) recordCalls(stmt ast.Stmt, held map[string]string) {
+	var classes []string
+	seen := map[string]bool{}
+	for _, c := range held {
+		if c != "" && !seen[c] {
+			seen[c] = true
+			classes = append(classes, c)
+		}
+	}
+	if len(classes) == 0 {
+		return
+	}
+	sort.Strings(classes)
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.BlockStmt:
+			return false
+		case *ast.GoStmt:
+			return false // the goroutine does not run under this lock
+		case *ast.CallExpr:
+			if fn, _ := resolveCallee(s.info, n); fn != nil {
+				if callee := s.pass.Mod.Graph.Nodes[funcObjKey(fn)]; callee != nil && !callee.External() {
+					*s.calls = append(*s.calls, heldCall{callee: callee, held: classes, pos: n.Pos()})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mutexOp matches `expr.Lock()` / `expr.Unlock()` (and RW variants) on
+// sync.Mutex/RWMutex, returning the receiver's textual key and its lock
+// class ("" when the receiver is unnamable, e.g. a local variable).
+func (s *lockScanner) mutexOp(stmt ast.Stmt) (call *ast.CallExpr, key, class, kind string, ok bool) {
+	es, isExpr := stmt.(*ast.ExprStmt)
+	if !isExpr {
+		return nil, "", "", "", false
+	}
+	c, isCall := es.X.(*ast.CallExpr)
+	if !isCall {
+		return nil, "", "", "", false
+	}
+	sel, isSel := c.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, "", "", "", false
+	}
+	fn, isFn := s.info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return nil, "", "", "", false
+	}
+	full := fn.FullName()
+	if !strings.HasPrefix(full, "(*sync.Mutex).") && !strings.HasPrefix(full, "(*sync.RWMutex).") {
+		return nil, "", "", "", false
+	}
+	return c, exprKey(sel.X), s.lockClass(sel), sel.Sel.Name, true
+}
+
+// lockClass names the declaration site of the mutex a Lock selector
+// resolves to: "pkg.Type.field" for struct fields (including mutexes
+// promoted from embedded fields), "pkg.var" for package-level mutexes,
+// "" for anything unnamable.
+func (s *lockScanner) lockClass(lockSel *ast.SelectorExpr) string {
+	// x.mu.Lock(): the inner selector resolves the field.
+	if inner, ok := ast.Unparen(lockSel.X).(*ast.SelectorExpr); ok {
+		if fs, ok := s.info.Selections[inner]; ok && fs.Kind() == types.FieldVal {
+			if owner := namedOf(fs.Recv()); owner != nil {
+				return qualifiedClass(owner.Obj().Pkg(), owner.Obj().Name()+"."+fs.Obj().Name())
+			}
+			return ""
+		}
+		// pkg.mu.Lock(): package-qualified var.
+		if v, ok := s.info.Uses[inner.Sel].(*types.Var); ok && packageLevel(v) {
+			return qualifiedClass(v.Pkg(), v.Name())
+		}
+		return ""
+	}
+	// x.Lock() with the method promoted from an embedded mutex: walk the
+	// selection's field index path to name the embedded field.
+	if ms, ok := s.info.Selections[lockSel]; ok && len(ms.Index()) > 1 {
+		if class := embeddedMutexClass(ms); class != "" {
+			return class
+		}
+	}
+	// mu.Lock() on a bare identifier: only package-level vars are stable
+	// enough to classify.
+	if id, ok := ast.Unparen(lockSel.X).(*ast.Ident); ok {
+		if v, ok := s.info.Uses[id].(*types.Var); ok && packageLevel(v) {
+			return qualifiedClass(v.Pkg(), v.Name())
+		}
+	}
+	return ""
+}
+
+// embeddedMutexClass resolves `x.Lock()` through embedded fields,
+// returning "pkg.Owner.field" for the field that actually holds the
+// mutex.
+func embeddedMutexClass(sel *types.Selection) string {
+	owner := namedOf(sel.Recv())
+	if owner == nil {
+		return ""
+	}
+	t := types.Type(owner)
+	var lastOwner *types.Named
+	var lastField *types.Var
+	for _, idx := range sel.Index()[:len(sel.Index())-1] {
+		st, ok := derefType(t).Underlying().(*types.Struct)
+		if !ok || idx >= st.NumFields() {
+			return ""
+		}
+		if n := namedOf(t); n != nil {
+			lastOwner = n
+		}
+		lastField = st.Field(idx)
+		t = lastField.Type()
+	}
+	if lastOwner == nil || lastField == nil {
+		return ""
+	}
+	return qualifiedClass(lastOwner.Obj().Pkg(), lastOwner.Obj().Name()+"."+lastField.Name())
+}
+
+func namedOf(t types.Type) *types.Named {
+	n, _ := derefType(t).(*types.Named)
+	return n
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func packageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func qualifiedClass(pkg *types.Package, rest string) string {
+	if pkg == nil {
+		return rest
+	}
+	return pkgBase(pkg.Path()) + "." + rest
+}
+
+func mutexKind(info *types.Info, call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok &&
+			strings.HasPrefix(fn.FullName(), "(*sync.RWMutex).") {
+			return "RWMutex"
+		}
+	}
+	return "Mutex"
+}
+
+func copyHeldClasses(held map[string]string) map[string]string {
+	out := make(map[string]string, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// transitiveAcquires closes per-function direct acquisition sets over
+// call and defer edges (not go edges) to a fixpoint: the result is every
+// lock class a function may take on the caller's goroutine, directly or
+// through any callee. Deferred callees run at function exit — possibly
+// after explicit unlocks — so including them over-approximates; a
+// cycle witnessed only through a defer edge is still worth a look.
+func transitiveAcquires(g *CallGraph, direct map[*FuncNode]map[string]bool) map[*FuncNode]map[string]bool {
+	acq := make(map[*FuncNode]map[string]bool, len(direct))
+	for n, set := range direct {
+		cp := make(map[string]bool, len(set))
+		for c := range set {
+			cp[c] = true
+		}
+		acq[n] = cp
+	}
+	nodes := sortedNodes(g)
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			for _, e := range n.Out {
+				if e.Kind == EdgeGo || e.Callee.External() {
+					continue
+				}
+				for c := range acq[e.Callee] {
+					if !acq[n][c] {
+						if acq[n] == nil {
+							acq[n] = map[string]bool{}
+						}
+						acq[n][c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return acq
+}
+
+// reportLockCycles finds strongly connected components of the class
+// order graph and reports each component of size ≥ 2 once, with one
+// witness edge per direction.
+func reportLockCycles(pass *Pass, edges map[string]map[string]*lockEvidence) {
+	classes := make([]string, 0, len(edges))
+	for c := range edges {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+
+	sccs := lockSCCs(classes, edges)
+	for _, scc := range sccs {
+		if len(scc) < 2 {
+			continue
+		}
+		sort.Strings(scc)
+		in := map[string]bool{}
+		for _, c := range scc {
+			in[c] = true
+		}
+		var witness []string
+		var at token.Pos
+		for _, from := range scc {
+			tos := make([]string, 0, len(edges[from]))
+			for to := range edges[from] {
+				if in[to] {
+					tos = append(tos, to)
+				}
+			}
+			sort.Strings(tos)
+			for _, to := range tos {
+				ev := edges[from][to]
+				if at == token.NoPos {
+					at = ev.pos
+				}
+				w := fmt.Sprintf("%s → %s (%s", from, to, relPosition(pass.Mod.Root, pass.Fset.Position(ev.pos)))
+				if ev.via != "" {
+					w += ", via call to " + ev.via
+				}
+				witness = append(witness, w+")")
+			}
+		}
+		pass.Reportf(at,
+			"lock-order cycle between %s: %s; functions that disagree on acquisition order can deadlock under contention",
+			strings.Join(scc, ", "), strings.Join(witness, "; "))
+	}
+}
+
+// lockSCCs is Tarjan's algorithm over the class order graph, iterative
+// order kept deterministic by sorted inputs.
+func lockSCCs(classes []string, edges map[string]map[string]*lockEvidence) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+
+		tos := make([]string, 0, len(edges[v]))
+		for to := range edges[v] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, w := range tos {
+			if _, seen := index[w]; !seen {
+				if _, hasEdges := edges[w]; !hasEdges && !onStack[w] {
+					// Sink class: trivially its own SCC, skip recursion.
+					index[w] = next
+					low[w] = next
+					next++
+					continue
+				}
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, c := range classes {
+		if _, seen := index[c]; !seen {
+			strongconnect(c)
+		}
+	}
+	return sccs
+}

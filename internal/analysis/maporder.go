@@ -25,14 +25,22 @@ var mapOrderEmitNames = map[string]bool{"Emit": true, "EmitDirect": true}
 var mapOrderWriteNames = map[string]bool{"Write": true, "WriteString": true, "WriteByte": true, "Print": true, "Printf": true, "Println": true}
 
 func runMapOrder(pass *Pass) {
-	if !pass.Deterministic {
-		return
-	}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
 				continue
+			}
+			// In deterministic packages every function is checked; in
+			// other packages only functions that deterministic code
+			// statically reaches (determinism taint) — their emitted
+			// order replays under the same seed contract.
+			var node *FuncNode
+			if !pass.Deterministic {
+				node = pass.Mod.Graph.NodeAt(fn)
+				if node == nil || !node.DetTainted {
+					continue
+				}
 			}
 			returned := returnedIdents(pass, fn)
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
@@ -48,8 +56,14 @@ func runMapOrder(pass *Pass) {
 					return true
 				}
 				if msg := orderEscape(pass, rs.Body, returned); msg != "" {
-					pass.Reportf(rs.Pos(),
-						"map iteration %s; map order is randomized per run — collect and sort keys first", msg)
+					if node != nil {
+						pass.Reportf(rs.Pos(),
+							"map iteration %s in %s, reachable from deterministic code via %s; map order is randomized per run — collect and sort keys first",
+							msg, funcLabel(fn), node.DetChain())
+					} else {
+						pass.Reportf(rs.Pos(),
+							"map iteration %s; map order is randomized per run — collect and sort keys first", msg)
+					}
 				}
 				return true
 			})

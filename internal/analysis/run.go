@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // DeterministicPathSuffixes lists the module-relative package trees that
@@ -20,6 +21,17 @@ var DeterministicPathSuffixes = []string{
 	"/internal/dsps",
 	"/internal/chaos",
 	"/internal/nn",
+}
+
+// OwnedGoroutinePathSuffixes lists the module-relative package trees
+// whose goroutines must carry a statically visible stop/wait path
+// (goroleak), independent of any //dsps:owned-goroutines directive: the
+// stream engine, the prediction server, and the observability stack all
+// shut down gracefully, so an unstoppable goroutine there is a leak.
+var OwnedGoroutinePathSuffixes = []string{
+	"/internal/dsps",
+	"/internal/serve",
+	"/internal/obs",
 }
 
 // Config parameterizes one lint run.
@@ -36,43 +48,87 @@ type Config struct {
 	JSON         bool
 	// SummaryPath, when set, writes the machine-readable baseline summary.
 	SummaryPath string
+	// BaselinePath, when set, verifies the run against a committed
+	// baseline: a recorded suppression that no longer exists fails the
+	// run as stale, and an unrecorded one fails it as drift.
+	BaselinePath string
+	// Timings prints per-analyzer wall time in text mode.
+	Timings bool
 
 	Stdout io.Writer
 	Stderr io.Writer
 }
 
-// Report is the full machine-readable result of a run.
-type Report struct {
-	Module      string         `json:"module"`
-	Analyzers   []string       `json:"analyzers"`
-	Packages    int            `json:"packages"`
-	Files       int            `json:"files"`
-	Findings    []Diagnostic   `json:"findings"`
-	Suppressed  []Diagnostic   `json:"suppressed"`
-	Counts      map[string]int `json:"counts"` // unsuppressed findings per analyzer
-	TypeErrors  []string       `json:"type_errors,omitempty"`
-	LoadError   string         `json:"load_error,omitempty"`
-	Suppression int            `json:"suppression_count"`
+// CallGraphStats summarizes the interprocedural layer for the report and
+// the committed baseline.
+type CallGraphStats struct {
+	// Nodes counts functions with loaded declarations; Edges counts
+	// resolved static call/go/defer edges (including edges to external
+	// leaves); DynamicCallSites counts interface-dispatch and func-value
+	// call sites the graph cannot follow — the documented blind spot.
+	Nodes            int `json:"nodes"`
+	Edges            int `json:"edges"`
+	DynamicCallSites int `json:"dynamic_call_sites"`
 }
 
-// Summary is the committed lint baseline: stable across machines (no
-// absolute paths, no timestamps) so suppression creep shows up as a diff.
+// An AllocExemption is one //dsps:allocs function: a declared, justified
+// amortized allocation point inside a hot-path call tree.
+type AllocExemption struct {
+	Function string `json:"function"`
+	Position string `json:"position"`
+	Reason   string `json:"reason"`
+}
+
+// Report is the full machine-readable result of a run.
+type Report struct {
+	Module          string           `json:"module"`
+	Analyzers       []string         `json:"analyzers"`
+	Packages        int              `json:"packages"`
+	Files           int              `json:"files"`
+	CallGraph       CallGraphStats   `json:"callgraph"`
+	Findings        []Diagnostic     `json:"findings"`
+	Suppressed      []Diagnostic     `json:"suppressed"`
+	AllocExemptions []AllocExemption `json:"alloc_exemptions"`
+	Counts          map[string]int   `json:"counts"` // unsuppressed findings per analyzer
+	// TimingsMs records wall time per stage: "load" (parse+typecheck),
+	// "callgraph" (graph build + taint propagation), and one entry per
+	// analyzer.
+	TimingsMs   map[string]int64 `json:"timings_ms"`
+	TypeErrors  []string         `json:"type_errors,omitempty"`
+	LoadError   string           `json:"load_error,omitempty"`
+	Suppression int              `json:"suppression_count"`
+}
+
+// Summary is the committed lint baseline (schema v2): per-analyzer
+// finding counts, call-graph size, per-stage timings, and every
+// suppression and alloc exemption with its justification, so creep in
+// any of them shows up as a diff. Apart from the timings (inherently
+// machine-dependent, kept for trend-reading) the summary is stable
+// across machines: no absolute paths, no timestamps.
 type Summary struct {
-	Module       string         `json:"module"`
-	Analyzers    []string       `json:"analyzers"`
-	Packages     int            `json:"packages"`
-	Files        int            `json:"files"`
-	Findings     map[string]int `json:"findings"`
-	Suppressions []struct {
-		Analyzer string `json:"analyzer"`
-		Position string `json:"position"`
-		Reason   string `json:"reason"`
-	} `json:"suppressions"`
-	SuppressionCount int `json:"suppression_count"`
+	Schema           int                  `json:"schema"`
+	Module           string               `json:"module"`
+	Analyzers        []string             `json:"analyzers"`
+	Packages         int                  `json:"packages"`
+	Files            int                  `json:"files"`
+	CallGraph        CallGraphStats       `json:"callgraph"`
+	Findings         map[string]int       `json:"findings"`
+	TimingsMs        map[string]int64     `json:"timings_ms"`
+	AllocExemptions  []AllocExemption     `json:"alloc_exemptions"`
+	Suppressions     []SummarySuppression `json:"suppressions"`
+	SuppressionCount int                  `json:"suppression_count"`
+}
+
+// A SummarySuppression is one committed //dspslint:ignore with its
+// justification and the position of the finding it covers.
+type SummarySuppression struct {
+	Analyzer string `json:"analyzer"`
+	Position string `json:"position"`
+	Reason   string `json:"reason"`
 }
 
 // Run executes the configured lint pass and returns a process exit code:
-// 0 clean, 1 findings, 2 load/type/usage failure.
+// 0 clean, 1 findings or baseline drift, 2 load/type/usage failure.
 func Run(cfg Config) int {
 	stdout, stderr := cfg.Stdout, cfg.Stderr
 	if stdout == nil {
@@ -97,8 +153,12 @@ func Run(cfg Config) int {
 		for _, d := range report.Findings {
 			fmt.Fprintf(stdout, "%s: %s: %s\n", d.Position, d.Analyzer, d.Message)
 		}
-		fmt.Fprintf(stdout, "dspslint: %d finding(s), %d suppressed, %d package(s), %d file(s)\n",
-			len(report.Findings), len(report.Suppressed), report.Packages, report.Files)
+		fmt.Fprintf(stdout, "dspslint: %d finding(s), %d suppressed, %d package(s), %d file(s), call graph %d nodes / %d edges (%d dynamic sites)\n",
+			len(report.Findings), len(report.Suppressed), report.Packages, report.Files,
+			report.CallGraph.Nodes, report.CallGraph.Edges, report.CallGraph.DynamicCallSites)
+		if cfg.Timings {
+			printTimings(stdout, report)
+		}
 	}
 	if cfg.SummaryPath != "" {
 		if err := writeSummary(cfg.SummaryPath, report); err != nil {
@@ -112,14 +172,37 @@ func Run(cfg Config) int {
 		}
 		return 2
 	}
-	if len(report.Findings) > 0 {
-		return 1
+	code := 0
+	if cfg.BaselinePath != "" {
+		drift, err := VerifyBaseline(cfg.BaselinePath, report)
+		if err != nil {
+			fmt.Fprintf(stderr, "dspslint: %v\n", err)
+			return 2
+		}
+		for _, msg := range drift {
+			fmt.Fprintf(stderr, "dspslint: %s\n", msg)
+		}
+		if len(drift) > 0 {
+			code = 1
+		}
 	}
-	return 0
+	if len(report.Findings) > 0 {
+		code = 1
+	}
+	return code
 }
 
-// Analyze loads the requested packages and runs the selected analyzers,
-// returning the full report.
+// printTimings renders the per-stage wall times, load first, analyzers
+// in registry order.
+func printTimings(w io.Writer, r *Report) {
+	fmt.Fprintf(w, "timings: load %dms, callgraph %dms\n", r.TimingsMs["load"], r.TimingsMs["callgraph"])
+	for _, name := range r.Analyzers {
+		fmt.Fprintf(w, "  %-12s %4dms\n", name, r.TimingsMs[name])
+	}
+}
+
+// Analyze loads the requested packages, builds the module call graph,
+// and runs the selected analyzers, returning the full report.
 func Analyze(cfg Config) (*Report, error) {
 	analyzers, err := selectAnalyzers(cfg.Enable, cfg.Disable)
 	if err != nil {
@@ -137,26 +220,39 @@ func Analyze(cfg Config) (*Report, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := loader.Load(patterns)
-	if err != nil {
-		return nil, err
-	}
-
 	report := &Report{
-		Module: loader.Module,
-		Counts: map[string]int{},
+		Module:    loader.Module,
+		Counts:    map[string]int{},
+		TimingsMs: map[string]int64{},
 	}
 	for _, a := range analyzers {
 		report.Analyzers = append(report.Analyzers, a.Name)
 		report.Counts[a.Name] = 0
 	}
 
+	loadStart := time.Now()
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	for _, pkg := range pkgs {
+		markDeterministic(loader.Module, pkg)
+		markOwnedGoroutines(loader.Module, pkg)
+	}
+	report.TimingsMs["load"] = time.Since(loadStart).Milliseconds()
+
+	graphStart := time.Now()
+	mod := buildModule(loader, pkgs)
+	report.TimingsMs["callgraph"] = time.Since(graphStart).Milliseconds()
+	nodes, edges, dynamic := mod.Graph.Stats()
+	report.CallGraph = CallGraphStats{Nodes: nodes, Edges: edges, DynamicCallSites: dynamic}
+	report.AllocExemptions = allocExemptions(loader, mod)
+
 	var diags []Diagnostic
 	var ignores []*ignoreEntry
 	for _, pkg := range pkgs {
 		report.Packages++
 		report.Files += len(pkg.Files)
-		markDeterministic(loader.Module, pkg)
 		for _, f := range pkg.Files {
 			ignores = append(ignores, parseIgnores(loader.Fset, f)...)
 		}
@@ -164,17 +260,31 @@ func Analyze(cfg Config) (*Report, error) {
 			report.TypeErrors = append(report.TypeErrors, e.Error())
 		}
 		for _, a := range analyzers {
-			pass := &Pass{
+			if a.Run == nil {
+				continue
+			}
+			start := time.Now()
+			a.Run(&Pass{
 				Analyzer:      a,
 				Fset:          loader.Fset,
 				Files:         pkg.Files,
 				Pkg:           pkg.Types,
 				Info:          pkg.Info,
 				Deterministic: pkg.Deterministic,
+				Mod:           mod,
 				diags:         &diags,
-			}
-			a.Run(pass)
+			})
+			report.TimingsMs[a.Name] += time.Since(start).Milliseconds()
 		}
+	}
+	// Module analyzers run exactly once over the whole graph.
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		start := time.Now()
+		a.RunModule(&Pass{Analyzer: a, Fset: loader.Fset, Mod: mod, diags: &diags})
+		report.TimingsMs[a.Name] += time.Since(start).Milliseconds()
 	}
 
 	// Apply suppressions and split findings.
@@ -221,16 +331,77 @@ func Analyze(cfg Config) (*Report, error) {
 	return report, nil
 }
 
+// DumpDOT loads the module, builds the call graph, and renders the
+// subgraph reachable from root in Graphviz DOT form (cmd/dspslint
+// -graph).
+func DumpDOT(cfg Config, root string) (string, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		dir = "."
+	}
+	loader, err := NewLoader(dir, cfg.IncludeTests)
+	if err != nil {
+		return "", err
+	}
+	patterns := cfg.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		return "", err
+	}
+	for _, pkg := range pkgs {
+		markDeterministic(loader.Module, pkg)
+		markOwnedGoroutines(loader.Module, pkg)
+	}
+	mod := buildModule(loader, pkgs)
+	return mod.Graph.DOT(root)
+}
+
+// allocExemptions collects every //dsps:allocs function, sorted by
+// position for stable output.
+func allocExemptions(l *Loader, mod *Module) []AllocExemption {
+	out := []AllocExemption{}
+	for _, n := range sortedNodes(mod.Graph) {
+		if n.AllocsReason == "" || n.Decl == nil {
+			continue
+		}
+		out = append(out, AllocExemption{
+			Function: n.Label,
+			Position: relPosition(l.Root, l.Fset.Position(n.Decl.Pos())),
+			Reason:   n.AllocsReason,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Position < out[j].Position })
+	return out
+}
+
 // markDeterministic applies the built-in path list on top of any
 // //dsps:deterministic directive the loader already honored.
 func markDeterministic(module string, pkg *Package) {
-	path := strings.TrimSuffix(pkg.ImportPath, "_test")
-	for _, suffix := range DeterministicPathSuffixes {
+	if pathOnList(module, pkg.ImportPath, DeterministicPathSuffixes) {
+		pkg.Deterministic = true
+	}
+}
+
+// markOwnedGoroutines applies the built-in path list on top of any
+// //dsps:owned-goroutines directive the loader already honored.
+func markOwnedGoroutines(module string, pkg *Package) {
+	if pathOnList(module, pkg.ImportPath, OwnedGoroutinePathSuffixes) {
+		pkg.OwnedGoroutines = true
+	}
+}
+
+func pathOnList(module, importPath string, suffixes []string) bool {
+	path := strings.TrimSuffix(importPath, "_test")
+	for _, suffix := range suffixes {
 		full := module + suffix
 		if path == full || strings.HasPrefix(path, full+"/") {
-			pkg.Deterministic = true
+			return true
 		}
 	}
+	return false
 }
 
 // selectAnalyzers resolves -enable/-disable names against the registry.
@@ -298,29 +469,31 @@ func relPosition(root string, pos token.Position) string {
 
 // writeSummary emits the committed baseline form of a report.
 func writeSummary(path string, r *Report) error {
-	s := Summary{
-		Module:           r.Module,
-		Analyzers:        r.Analyzers,
-		Packages:         r.Packages,
-		Files:            r.Files,
-		Findings:         r.Counts,
-		SuppressionCount: len(r.Suppressed),
-	}
-	s.Suppressions = make([]struct {
-		Analyzer string `json:"analyzer"`
-		Position string `json:"position"`
-		Reason   string `json:"reason"`
-	}, 0, len(r.Suppressed))
-	for _, d := range r.Suppressed {
-		s.Suppressions = append(s.Suppressions, struct {
-			Analyzer string `json:"analyzer"`
-			Position string `json:"position"`
-			Reason   string `json:"reason"`
-		}{d.Analyzer, d.Position, d.Reason})
-	}
+	s := summaryOf(r)
 	data, err := json.MarshalIndent(&s, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// summaryOf reduces a report to its committed baseline form.
+func summaryOf(r *Report) Summary {
+	s := Summary{
+		Schema:           2,
+		Module:           r.Module,
+		Analyzers:        r.Analyzers,
+		Packages:         r.Packages,
+		Files:            r.Files,
+		CallGraph:        r.CallGraph,
+		Findings:         r.Counts,
+		TimingsMs:        r.TimingsMs,
+		AllocExemptions:  r.AllocExemptions,
+		SuppressionCount: len(r.Suppressed),
+	}
+	s.Suppressions = make([]SummarySuppression, 0, len(r.Suppressed))
+	for _, d := range r.Suppressed {
+		s.Suppressions = append(s.Suppressions, SummarySuppression{d.Analyzer, d.Position, d.Reason})
+	}
+	return s
 }

@@ -1,0 +1,109 @@
+// Package corpus is the allocfree analyzer's test corpus: every heap
+// allocation class inside a //dsps:hotpath call tree must be caught —
+// including an interface boxing injected two calls below the annotated
+// root, which pins the transitive propagation acceptance criterion.
+package corpus
+
+import "fmt"
+
+var last any
+
+// emitFast is the annotated hot root; it reaches record through stage,
+// and the boxing inside record must be reported with the witness chain.
+//
+//dsps:hotpath
+func emitFast(id uint64) {
+	stage(id)
+}
+
+func stage(id uint64) { record(id) }
+
+// record boxes its uint64 into an interface parameter: the injected
+// regression two calls below the root.
+func record(id uint64) { sink(id) }
+
+func sink(v any) { last = v }
+
+// makeOnHot allocates directly under an annotated root.
+//
+//dsps:hotpath
+func makeOnHot(n int) []int {
+	return make([]int, n)
+}
+
+// growOnHot may grow its backing array.
+//
+//dsps:hotpath
+func growOnHot(dst []int, v int) []int {
+	return append(dst, v)
+}
+
+type pair struct{ xs []int }
+
+// literalOnHot allocates a slice literal and an escaping composite.
+//
+//dsps:hotpath
+func literalOnHot(v int) *pair {
+	xs := []int{v}
+	return &pair{xs: xs}
+}
+
+// closureOnHot allocates a capture block for the returned literal.
+//
+//dsps:hotpath
+func closureOnHot(v int) func() int {
+	return func() int { return v }
+}
+
+// spawnOnHot allocates a goroutine and its closure.
+//
+//dsps:hotpath
+func spawnOnHot() {
+	go helper()
+}
+
+func helper() {}
+
+// convertOnHot boxes through an explicit interface conversion.
+//
+//dsps:hotpath
+func convertOnHot(v int64) any {
+	return any(v)
+}
+
+// guardOnHot panics on bad input; allocations feeding a panic are moot
+// and must NOT be flagged.
+//
+//dsps:hotpath
+func guardOnHot(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("corpus: negative %d", n))
+	}
+}
+
+// rootWithCold reaches a //dsps:coldpath callee: taint stops there and
+// the callee's allocation must NOT be flagged.
+//
+//dsps:hotpath
+func rootWithCold() { coldSetup() }
+
+// coldSetup is a documented cold sub-path (setup/growth).
+//
+//dsps:coldpath
+func coldSetup() []int { return make([]int, 8) }
+
+// arenaRefill is a declared amortized allocation point: its body is
+// exempt, and the justification lands in the report.
+//
+//dsps:hotpath
+//dsps:allocs chunk refill amortized over many tuples
+func arenaRefill() []byte { return make([]byte, 4096) }
+
+// pointerShaped passes pointer-shaped values to interface parameters;
+// they ride the interface word and must NOT be flagged.
+//
+//dsps:hotpath
+func pointerShaped(p *pair, ch chan int) {
+	sink(p)
+	sink(ch)
+}

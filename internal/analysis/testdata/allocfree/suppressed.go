@@ -1,0 +1,11 @@
+package corpus
+
+// legacyEmit feeds a legacy metrics sink that takes any; the boxing is a
+// known cost carried under a justified suppression until the sink grows
+// a typed lane.
+//
+//dsps:hotpath
+func legacyEmit(id uint64) {
+	//dspslint:ignore allocfree legacy metrics sink takes any; a typed lane is scheduled
+	sink(id)
+}

@@ -1,0 +1,90 @@
+// Package corpus is the goroleak analyzer's test corpus: every go
+// statement in an owned-goroutines package must have a statically
+// visible stop or wait path.
+//
+//dsps:owned-goroutines
+package corpus
+
+import "sync"
+
+var n int
+
+func step() { n++ }
+
+// spin has no channel op, select, close, or WaitGroup.Done anywhere it
+// reaches: a goroutine running it cannot be joined.
+func spin() {
+	for {
+		step()
+	}
+}
+
+func leakNamed() {
+	go spin()
+}
+
+func leakLiteral() {
+	go func() {
+		for {
+			step()
+		}
+	}()
+}
+
+type server struct{ handler func() }
+
+// leakFuncValue spawns through a func-typed field: the callee set is
+// unknowable, so the site is reported as unverifiable.
+func leakFuncValue(s *server) {
+	go s.handler()
+}
+
+// worker drains ch until it is closed: the range over a channel is its
+// stop path.
+func worker(ch chan int) {
+	for v := range ch {
+		n += v
+	}
+}
+
+func okNamed(ch chan int) {
+	go worker(ch)
+}
+
+func okWaitGroup(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		step()
+	}()
+}
+
+// okTransitive reaches its select two calls down the spawned call tree.
+func okTransitive(done chan struct{}) {
+	go runLoop(done)
+}
+
+func runLoop(done chan struct{}) {
+	for {
+		if pump(done) {
+			return
+		}
+	}
+}
+
+func pump(done chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		step()
+		return false
+	}
+}
+
+// okCloser signals its own completion by closing a done channel.
+func okCloser(done chan struct{}) {
+	go func() {
+		defer close(done)
+		step()
+	}()
+}

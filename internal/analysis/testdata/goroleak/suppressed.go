@@ -1,0 +1,12 @@
+package corpus
+
+// detachedSampler is a deliberate fire-and-forget diagnostic goroutine;
+// the leak finding is carried under a justified suppression.
+func detachedSampler() {
+	//dspslint:ignore goroleak diagnostics sampler is process-lifetime by design; it exits with the process
+	go func() {
+		for {
+			step()
+		}
+	}()
+}

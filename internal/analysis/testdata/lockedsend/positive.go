@@ -94,3 +94,12 @@ func (r *registry) unlockInBranchThenSend(cond bool, v int) {
 	r.ch <- v // want: lockedsend
 	r.mu.Unlock()
 }
+
+// methodValueRef stores r.mu.Lock as a func value: a reference, not an
+// acquisition — the send below runs with no lock held and must NOT be
+// flagged.
+func (r *registry) methodValueRef(v int) func() {
+	hook := r.mu.Lock
+	r.ch <- v
+	return hook
+}

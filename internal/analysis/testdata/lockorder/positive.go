@@ -1,0 +1,62 @@
+// Package corpus is the lockorder analyzer's test corpus: functions that
+// acquire the same two lock classes in opposite orders — directly or
+// through a callee — form a cycle that must be reported, and re-entrant
+// acquisition of one mutex must be caught outright.
+package corpus
+
+import "sync"
+
+type accountA struct{ mu sync.Mutex }
+
+type accountB struct{ mu sync.Mutex }
+
+var a accountA
+
+var b accountB
+
+// transferAB acquires A then B.
+func transferAB() {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// transferBA acquires B and then — through a helper, with the unlock
+// deferred so B stays held — A: the reverse order, closing the cycle
+// interprocedurally.
+func transferBA() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lockAHelper()
+}
+
+func lockAHelper() {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// relock re-acquires a mutex this function already holds.
+func relock() {
+	a.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// methodValueRef stores a.mu.Lock as a func value: a reference, not an
+// acquisition — it must NOT establish an order edge or a held lock.
+func methodValueRef() func() {
+	f := a.mu.Lock
+	return f
+}
+
+// shardedOK locks two instances of the same class; instance identity is
+// beyond static reach, so same-class pairs must NOT be reported.
+type shard struct{ mu sync.Mutex }
+
+func shardedOK(s1, s2 *shard) {
+	s1.mu.Lock()
+	s2.mu.Lock()
+	s2.mu.Unlock()
+	s1.mu.Unlock()
+}

@@ -43,3 +43,39 @@ func coldPath() int64 {
 func timerPark() {
 	<-time.After(time.Millisecond)
 }
+
+// hotRoot reaches stampDeep two calls down the static call graph; the
+// transitive wall-clock read must be reported with the witness chain.
+//
+//dsps:hotpath
+func hotRoot(c *clockHolder) {
+	middle(c)
+}
+
+func middle(c *clockHolder) {
+	stampDeep(c)
+}
+
+func stampDeep(c *clockHolder) {
+	c.stamp = time.Now().UnixNano() // want: walltime (transitive, two calls below the root)
+}
+
+// closureInHot returns a literal that runs on the caller's goroutine, so
+// its body is part of the hot path and the read inside must be flagged.
+//
+//dsps:hotpath
+func closureInHot(c *clockHolder) func() {
+	return func() {
+		c.stamp = time.Now().UnixNano() // want: walltime (closure body)
+	}
+}
+
+// spawnedClock hands the literal to a new goroutine: it leaves the hot
+// goroutine, so the read inside must NOT be flagged.
+//
+//dsps:hotpath
+func spawnedClock(c *clockHolder) {
+	go func() {
+		c.stamp = time.Now().UnixNano()
+	}()
+}

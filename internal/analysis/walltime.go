@@ -4,15 +4,22 @@ import (
 	"go/ast"
 )
 
-// WallTime bans wall-clock reads inside functions annotated //dsps:hotpath.
-// The data plane stamps envelopes from the coarse atomic clock
-// (coarseClock.nowNs, ≤ one 500µs tick of error) precisely so the per-tuple
-// path never pays a time.Now call; a stray time.Now/Since/Until in an
-// annotated function silently reintroduces that cost and decouples latency
-// stamps from the clock the histograms and the acker share.
+// WallTime bans wall-clock reads on the hot path. The data plane stamps
+// envelopes from the coarse atomic clock (coarseClock.nowNs, ≤ one 500µs
+// tick of error) precisely so the per-tuple path never pays a time.Now
+// call; a stray time.Now/Since/Until silently reintroduces that cost and
+// decouples latency stamps from the clock the histograms and the acker
+// share.
+//
+// Since v2 the check is interprocedural: a function is checked when it
+// is annotated //dsps:hotpath OR statically reachable from an annotated
+// root through call/defer edges (see callgraph.go for the propagation
+// rules and soundness limits). Bodies of `go func(){…}` literals are
+// exempt — the spawned goroutine is concurrent with the hot path, not
+// part of it.
 var WallTime = &Analyzer{
 	Name: "walltime",
-	Doc:  "time.Now/Since/Until inside a //dsps:hotpath function; use the coarse clock",
+	Doc:  "time.Now/Since/Until inside a //dsps:hotpath function or anything it reaches; use the coarse clock",
 	Run:  runWallTime,
 }
 
@@ -25,22 +32,53 @@ func runWallTime(pass *Pass) {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !isHotpath(fn) {
+			if !ok || fn.Body == nil {
+				continue
+			}
+			node := pass.Mod.Graph.NodeAt(fn)
+			if node == nil || !node.HotTainted {
 				continue
 			}
 			label := funcLabel(fn)
-			ast.Inspect(fn.Body, func(n ast.Node) bool {
+			inspectHotBody(fn.Body, func(n ast.Node) bool {
 				sel, ok := n.(*ast.SelectorExpr)
 				if !ok || !wallTimeFuncs[sel.Sel.Name] || !pass.pkgNamed(sel.X, "time") {
 					return true
 				}
 				// Flag the bare selector, not just calls: storing time.Now
 				// as a clock func smuggles the same wall-clock read in.
-				pass.Reportf(sel.Pos(),
-					"time.%s in hot-path function %s (//dsps:hotpath); stamp from the coarse clock instead",
-					sel.Sel.Name, label)
+				if node.Hotpath {
+					pass.Reportf(sel.Pos(),
+						"time.%s in hot-path function %s (//dsps:hotpath); stamp from the coarse clock instead",
+						sel.Sel.Name, label)
+				} else {
+					pass.Reportf(sel.Pos(),
+						"time.%s in %s, reachable from hot path %s; stamp from the coarse clock instead",
+						sel.Sel.Name, label, node.HotChain())
+				}
 				return true
 			})
 		}
 	}
+}
+
+// inspectHotBody is ast.Inspect restricted to code that runs on the hot
+// caller's goroutine: bodies of function literals spawned by a `go`
+// statement are skipped (the spawned goroutine is not on the hot path —
+// and if it calls a named function, taint propagation already decided
+// that edge).
+func inspectHotBody(body ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if _, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				// Arguments evaluate on this goroutine; the body does not.
+				for _, arg := range g.Call.Args {
+					inspectHotBody(arg, visit)
+				}
+				return false
+			}
+			return true
+		}
+		return visit(n)
+	})
 }

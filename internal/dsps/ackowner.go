@@ -91,7 +91,11 @@ func newAckOwners(shards int) *ackOwners {
 	return ao
 }
 
-// attach registers a new producer ring with shard s's owner.
+// attach registers a new producer ring with shard s's owner. It runs
+// once per (task, shard) pairing — the first flush to a shard — never
+// per op, so its allocations are off the steady-state path.
+//
+//dsps:coldpath
 func (ao *ackOwners) attach(s int) *ring.SPSC[*[]ackOp] {
 	r, _ := ring.New[*[]ackOp](ackRingCap)
 	o := &ao.owners[s]
@@ -151,14 +155,14 @@ func (rt *runningTopology) stageAckOp(tk *task, op ackOp) {
 	ao := rt.ackOwners
 	s := rt.acker.shardIndex(op.rootID)
 	if tk.ackStage == nil {
-		tk.ackStage = make([]*[]ackOp, len(rt.acker.shards))
+		tk.ackStage = make([]*[]ackOp, len(rt.acker.shards)) //dspslint:ignore allocfree one-time lazy init per task, not per op
 	}
 	st := tk.ackStage[s]
 	if st == nil {
 		st = ao.pool.Get().(*[]ackOp)
 		tk.ackStage[s] = st
 	}
-	*st = append(*st, op)
+	*st = append(*st, op) //dspslint:ignore allocfree pooled slice retains ackStageMax capacity across reuse; append only grows on first fill
 	ao.opsPending.Add(1)
 	if len(*st) >= ackStageMax {
 		rt.flushAckShard(tk, s)
@@ -178,7 +182,7 @@ func (rt *runningTopology) flushAckShard(tk *task, s int) {
 	}
 	tk.ackStage[s] = nil
 	if tk.ackRings == nil {
-		tk.ackRings = make([]*ring.SPSC[*[]ackOp], len(rt.acker.shards))
+		tk.ackRings = make([]*ring.SPSC[*[]ackOp], len(rt.acker.shards)) //dspslint:ignore allocfree one-time lazy init per task, not per op
 	}
 	r := tk.ackRings[s]
 	if r == nil {

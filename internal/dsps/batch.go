@@ -23,6 +23,7 @@ type tupleArena struct {
 // needs.
 //
 //dsps:hotpath
+//dsps:allocs arena refill: one chunk allocation amortized over arenaChunk tuples
 func (a *tupleArena) get() *Tuple {
 	if a.next == len(a.chunk) {
 		a.chunk = make([]Tuple, arenaChunk)
@@ -47,6 +48,7 @@ type envBatch struct {
 // add appends one tuple to the batch.
 //
 //dsps:hotpath
+//dsps:allocs batch growth: free-listed slices retain capacity, append grows only on first fill
 func (b *envBatch) add(t *Tuple, enqueuedNs int64) {
 	b.tuples = append(b.tuples, t)
 	b.ns = append(b.ns, enqueuedNs)
@@ -81,6 +83,7 @@ func newFreeLists() *freeLists {
 // falling back to a fresh allocation of capHint.
 //
 //dsps:hotpath
+//dsps:allocs free-list miss fallback: fresh batch slices only when the list runs dry
 func (f *freeLists) getEnvs(capHint int) envBatch {
 	select {
 	case b := <-f.envs:
@@ -113,6 +116,7 @@ func (f *freeLists) putEnvs(b envBatch) {
 // getAcks is on the per-tuple data plane.
 //
 //dsps:hotpath
+//dsps:allocs free-list miss fallback: fresh ack slices only when the list runs dry
 func (f *freeLists) getAcks(capHint int) []ackResult {
 	select {
 	case b := <-f.acks:

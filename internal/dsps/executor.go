@@ -376,7 +376,11 @@ func (rt *runningTopology) taskOf(id int) *task {
 // rebuilds tk's cached emit state (edgeBase, edgeTargets, outs) against
 // each out-edge's current fan-out table, recording the route epoch it was
 // built for. Called only from tk's executor goroutine (and from
-// buildRuntime/spawnTask before the goroutine starts).
+// buildRuntime/spawnTask before the goroutine starts). Runs once per
+// splice epoch change, never per tuple, so its slice growth is off the
+// steady-state path.
+//
+//dsps:coldpath
 func (rt *runningTopology) rebuildOuts(tk *task, epoch uint64) {
 	rt.flushOut(tk)
 	tk.edgeBase = tk.edgeBase[:0]
@@ -592,13 +596,13 @@ func (rt *runningTopology) routeInto(tk *task, tpl *Tuple) int {
 		base := tk.edgeBase[ei]
 		if e.single != nil {
 			if idx := e.single.selectOne(tpl, nt); idx >= 0 && idx < nt {
-				sel = append(sel, base+idx)
+				sel = append(sel, base+idx) //dspslint:ignore allocfree selScratch retains capacity across emits; grows only until the fan-out stabilizes
 			}
 			continue
 		}
 		for _, idx := range e.grouping.Select(tpl, nt) {
 			if idx >= 0 && idx < nt {
-				sel = append(sel, base+idx)
+				sel = append(sel, base+idx) //dspslint:ignore allocfree selScratch retains capacity across emits; grows only until the fan-out stabilizes
 			}
 		}
 	}
@@ -760,7 +764,7 @@ func (rt *runningTopology) sendBatch(src *task, e *edge, target *task, envs envB
 				if r == nil {
 					r = rt.attachInRingLocked(target)
 					if src.outRings == nil {
-						src.outRings = make(map[*task]*ring.SPSC[envBatch])
+						src.outRings = make(map[*task]*ring.SPSC[envBatch]) //dspslint:ignore allocfree one-time lazy init per source task on first ring attach
 					}
 					src.outRings[target] = r
 				}
@@ -877,7 +881,7 @@ func (sc *spoutCollector) emit(tpl *Tuple, msgID any, msgU64 uint64, anchored bo
 			} else if tk.ackerU64 != nil {
 				tk.ackerU64.AckU64(msgU64)
 			} else {
-				tk.spout.Ack(msgU64)
+				tk.spout.Ack(msgU64) //dspslint:ignore allocfree untyped-spout fallback boxes the id; spouts implementing AckerU64 take the box-free lane
 			}
 			tk.counters.emitted.Add(1)
 			return
@@ -890,7 +894,7 @@ func (sc *spoutCollector) emit(tpl *Tuple, msgID any, msgU64 uint64, anchored bo
 		var xor uint64
 		for i := 0; i < nsel; i++ {
 			id := tk.nextEdgeID()
-			ids = append(ids, id)
+			ids = append(ids, id) //dspslint:ignore allocfree idScratch retains capacity across emits; grows only until the fan-out stabilizes
 			xor ^= id
 		}
 		tk.idScratch = ids
@@ -952,7 +956,7 @@ func (rt *runningTopology) handleAckBatch(tk *task, rb []ackResult) {
 			case tk.ackerU64 != nil:
 				tk.ackerU64.AckU64(r.msgU64)
 			default:
-				tk.spout.Ack(r.msgU64)
+				tk.spout.Ack(r.msgU64) //dspslint:ignore allocfree untyped-spout fallback boxes the id; spouts implementing AckerU64 take the box-free lane
 			}
 		} else {
 			tk.counters.failed.Add(1)
@@ -962,7 +966,7 @@ func (rt *runningTopology) handleAckBatch(tk *task, rb []ackResult) {
 			case tk.ackerU64 != nil:
 				tk.ackerU64.FailU64(r.msgU64)
 			default:
-				tk.spout.Fail(r.msgU64)
+				tk.spout.Fail(r.msgU64) //dspslint:ignore allocfree untyped-spout fallback boxes the id; spouts implementing AckerU64 take the box-free lane
 			}
 		}
 	}
@@ -1112,7 +1116,7 @@ func (bc *boltCollector) emit(tpl *Tuple) {
 			id := tk.nextEdgeID()
 			t.rootID = rootID
 			t.edgeID = id
-			bc.produced = append(bc.produced, id)
+			bc.produced = append(bc.produced, id) //dspslint:ignore allocfree produced is reset per input tuple and retains capacity; grows only until the fan-out stabilizes
 			rt.enqueue(tk, tk.selScratch[i], t, now)
 		}
 	} else {
@@ -1143,13 +1147,13 @@ func (bc *boltCollector) addAck(r ackResult) {
 		if sp == nil {
 			return
 		}
-		bc.acks = append(bc.acks, ackBatch{spout: sp})
+		bc.acks = append(bc.acks, ackBatch{spout: sp}) //dspslint:ignore allocfree one entry per distinct upstream spout, not per tuple
 		ab = &bc.acks[len(bc.acks)-1]
 	}
 	if ab.results == nil {
 		ab.results = bc.rt.fl.getAcks(bc.rt.effBatch)
 	}
-	ab.results = append(ab.results, r)
+	ab.results = append(ab.results, r) //dspslint:ignore allocfree free-listed slice sized to effBatch; flushed before it can grow
 	if len(ab.results) >= bc.rt.effBatch {
 		bc.rt.sendAcks(ab.spout, ab.results)
 		ab.results = nil

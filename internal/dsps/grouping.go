@@ -35,9 +35,9 @@ type ShuffleGrouping struct {
 // Name implements Grouping.
 func (g *ShuffleGrouping) Name() string { return "shuffle" }
 
-// Select implements Grouping.
-//
-//dsps:hotpath
+// Select implements Grouping. It is the interface-compatibility slow
+// path: the engine's router uses the allocation-free selectOne fast path
+// for this grouping, so Select only runs for third-party callers.
 func (g *ShuffleGrouping) Select(t *Tuple, numTasks int) []int {
 	return []int{g.selectOne(t, numTasks)}
 }
@@ -59,9 +59,8 @@ type FieldsGrouping struct {
 // Name implements Grouping.
 func (g *FieldsGrouping) Name() string { return "fields" }
 
-// Select implements Grouping.
-//
-//dsps:hotpath
+// Select implements Grouping. Interface-compatibility slow path; the
+// router uses selectOne (see ShuffleGrouping.Select).
 func (g *FieldsGrouping) Select(t *Tuple, numTasks int) []int {
 	return []int{g.selectOne(t, numTasks)}
 }
@@ -155,9 +154,8 @@ type GlobalGrouping struct{}
 // Name implements Grouping.
 func (GlobalGrouping) Name() string { return "global" }
 
-// Select implements Grouping.
-//
-//dsps:hotpath
+// Select implements Grouping. Interface-compatibility slow path; the
+// router uses selectOne (see ShuffleGrouping.Select).
 func (GlobalGrouping) Select(*Tuple, int) []int { return []int{0} }
 
 // selectOne is on the per-tuple data plane.
@@ -174,6 +172,7 @@ func (AllGrouping) Name() string { return "all" }
 // Select implements Grouping.
 //
 //dsps:hotpath
+//dsps:allocs fan-out grouping returns one fresh index slice per emit; inherently O(numTasks)
 func (AllGrouping) Select(_ *Tuple, numTasks int) []int {
 	out := make([]int, numTasks)
 	for i := range out {
@@ -275,7 +274,8 @@ func (g *DynamicGrouping) Updates() int {
 // accumulates credit equal to its ratio per tuple; the task with the most
 // credit wins and pays back 1.
 //
-//dsps:hotpath
+// Interface-compatibility slow path; the router uses selectOne (see
+// ShuffleGrouping.Select).
 func (g *DynamicGrouping) Select(t *Tuple, numTasks int) []int {
 	return []int{g.selectOne(t, numTasks)}
 }
@@ -288,12 +288,12 @@ func (g *DynamicGrouping) selectOne(_ *Tuple, numTasks int) int {
 	defer g.mu.Unlock()
 	if len(g.ratios) != numTasks {
 		// Unset or re-parallelized: fall back to a uniform split.
-		uniform := make([]float64, numTasks)
+		uniform := make([]float64, numTasks) //dspslint:ignore allocfree re-parallelization fallback; runs once per scale event, not per tuple
 		for i := range uniform {
 			uniform[i] = 1 / float64(numTasks)
 		}
 		g.ratios = uniform
-		g.current = make([]float64, numTasks)
+		g.current = make([]float64, numTasks) //dspslint:ignore allocfree re-parallelization fallback; runs once per scale event, not per tuple
 	}
 	best := -1
 	for i := range g.current {

@@ -35,6 +35,8 @@ const ringSpinBudget = 64
 // and has observed target alive, so the list cannot be concurrently
 // reclaimed; ringMu orders concurrent attaches (and consumer prunes)
 // against each other.
+//
+//dsps:coldpath
 func (rt *runningTopology) attachInRingLocked(target *task) *ring.SPSC[envBatch] {
 	r, _ := ring.New[envBatch](rt.ringCap)
 	target.ringMu.Lock()

@@ -152,7 +152,7 @@ func (t *Trace) record(s TraceSpan) {
 	s.Seq = t.seq
 	t.seq++
 	if len(t.ring) < cap(t.ring) {
-		t.ring = append(t.ring, s)
+		t.ring = append(t.ring, s) //dspslint:ignore allocfree bounded ring fill below preallocated cap; wraps in place afterwards
 	} else {
 		t.ring[t.next] = s
 		t.wrapped = true

@@ -132,6 +132,7 @@ func (t *Tuple) GetValue(field string) (any, error) {
 			break
 		}
 	}
+	//dspslint:ignore allocfree field-miss error path; steady-state lookups return above without reaching it
 	return nil, fmt.Errorf("dsps: tuple from %q has no field %q", t.SourceComponent, field)
 }
 

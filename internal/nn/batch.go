@@ -42,6 +42,8 @@ type buf struct{ data []float64 }
 
 // mat returns a rows×cols view over the buffer, growing it if needed. The
 // view's contents are unspecified until written.
+//
+//dsps:allocs grow-only arena: reallocates only when a larger shape first appears
 func (b *buf) mat(rows, cols int) *mat.Dense {
 	n := rows * cols
 	if cap(b.data) < n {
@@ -67,6 +69,7 @@ type batchWS struct {
 	head [2]buf   // dense head ping-pong
 }
 
+//dsps:allocs per-timestep buffer list grows once per longest-sequence change
 func (w *batchWS) bankBuf(bank, t int) *buf {
 	for len(w.bank[bank]) <= t {
 		w.bank[bank] = append(w.bank[bank], buf{})
@@ -74,6 +77,7 @@ func (w *batchWS) bankBuf(bank, t int) *buf {
 	return &w.bank[bank][t]
 }
 
+//dsps:allocs gate buffer list grows once per layer-count change
 func (w *batchWS) gateBuf(i int) *buf {
 	for len(w.gate) <= i {
 		w.gate = append(w.gate, buf{})
@@ -81,6 +85,7 @@ func (w *batchWS) gateBuf(i int) *buf {
 	return &w.gate[i]
 }
 
+//dsps:allocs state buffer list grows once per layer-count change
 func (w *batchWS) stBuf(i int) *buf {
 	for len(w.st) <= i {
 		w.st = append(w.st, buf{})

@@ -90,6 +90,9 @@ func (w *gruWorkspace) init(hidden int) {
 	w.drPre = make([]float64, hidden)
 }
 
+// ensure grows the step cache to hold n timesteps for dims (in, hidden).
+//
+//dsps:allocs workspace grown once per shape change; steady-state sequences reuse cached steps
 func (w *gruWorkspace) ensure(in, hidden, n int) {
 	for len(w.steps) < n {
 		w.steps = append(w.steps, gruStep{

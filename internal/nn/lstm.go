@@ -63,6 +63,8 @@ func (w *lstmWorkspace) init(hidden int) {
 }
 
 // ensure grows the step cache to hold n timesteps for dims (in, hidden).
+//
+//dsps:allocs workspace grown once per shape change; steady-state sequences reuse cached steps
 func (w *lstmWorkspace) ensure(in, hidden, n int) {
 	for len(w.steps) < n {
 		st := lstmStep{

@@ -154,6 +154,9 @@ type qbuf struct {
 	scale []float64
 }
 
+// ensure grows the arena to hold rows*cols quantized values.
+//
+//dsps:allocs arena grown once per shape change; steady-state rows reuse it
 func (b *qbuf) ensure(rows, cols int) {
 	if cap(b.data) < rows*cols {
 		b.data = make([]int8, rows*cols)
@@ -175,6 +178,7 @@ type quantWS struct {
 	hq   qbuf // quantized hidden rows for the current step
 }
 
+//dsps:allocs per-timestep buffer list grows once per longest-sequence change
 func (w *quantWS) bankBuf(bank, t int) *buf {
 	for len(w.bank[bank]) <= t {
 		w.bank[bank] = append(w.bank[bank], buf{})
@@ -182,6 +186,7 @@ func (w *quantWS) bankBuf(bank, t int) *buf {
 	return &w.bank[bank][t]
 }
 
+//dsps:allocs gate buffer list grows once per layer-count change
 func (w *quantWS) gateBuf(i int) *buf {
 	for len(w.gate) <= i {
 		w.gate = append(w.gate, buf{})
@@ -189,6 +194,7 @@ func (w *quantWS) gateBuf(i int) *buf {
 	return &w.gate[i]
 }
 
+//dsps:allocs state buffer list grows once per layer-count change
 func (w *quantWS) stBuf(i int) *buf {
 	for len(w.st) <= i {
 		w.st = append(w.st, buf{})

@@ -110,7 +110,7 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: HTTPHandler(cfg), ReadHeaderTimeout: 5 * time.Second}
-	go srv.Serve(ln)
+	go srv.Serve(ln) //dspslint:ignore goroleak stdlib body is invisible to the call graph; Serve returns when Close shuts the listener down
 	return &Server{ln: ln, srv: srv}, nil
 }
 

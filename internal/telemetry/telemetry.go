@@ -212,6 +212,7 @@ func (s *Sampler) Workers() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]string, 0, len(s.series))
+	//dspslint:ignore maporder keys are sorted below before returning, so the map order never escapes
 	for id := range s.series {
 		out = append(out, id)
 	}

@@ -27,6 +27,14 @@ while IFS= read -r md; do
     grep -o '\[[^]]*\]([^)]*)' | sed 's/.*](\([^)]*\))/\1/')
 done < <(git ls-files '*.md')
 
+echo "doccheck: required pages"
+for required in DESIGN.md docs/DIRECTIVES.md docs/OBSERVABILITY.md; do
+  if [ ! -f "$required" ]; then
+    echo "doccheck: required page missing: $required" >&2
+    fail=1
+  fi
+done
+
 echo "doccheck: exported symbols"
 if ! go run ./scripts/doccheck \
   ./internal/dsps ./internal/telemetry ./internal/chaos ./internal/obs ./internal/serve; then

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race ci lint lint-baseline doccheck bench bench-train bench-engine bench-elastic bench-serve bench-smoke soak soak-short fuzz-smoke
+.PHONY: build test race ci lint lint-baseline doccheck bench bench-train bench-engine bench-elastic bench-serve bench-smoke soak soak-short fuzz-smoke cluster-demo
 
 build:
 	$(GO) build ./...
@@ -31,10 +31,11 @@ test:
 # training engine (internal/nn), the stream engine (internal/dsps), the
 # SPSC ring plane under it (internal/ring), the chaos harness that
 # hammers it (internal/chaos), the prediction server's coalescer and
-# load-test harness (internal/serve), and the linter's parallel package
-# loader (internal/analysis).
+# load-test harness (internal/serve), the distributed runtime's
+# coordinator/worker protocol stack (internal/cluster), and the linter's
+# parallel package loader (internal/analysis).
 race:
-	$(GO) test -race ./internal/nn/... ./internal/dsps/... ./internal/ring/... ./internal/chaos/... ./internal/serve/... ./internal/analysis/...
+	$(GO) test -race ./internal/nn/... ./internal/dsps/... ./internal/ring/... ./internal/chaos/... ./internal/serve/... ./internal/cluster/... ./internal/analysis/...
 
 ci:
 	sh scripts/ci.sh
@@ -64,6 +65,13 @@ fuzz-smoke:
 	$(GO) test -fuzz='^FuzzAckerTrees$$' -run '^$$' -fuzztime 10s ./internal/dsps/
 	$(GO) test -fuzz='^FuzzRingBatchOps$$' -run '^$$' -fuzztime 10s ./internal/ring/
 	$(GO) test -fuzz='^FuzzServeWireFrame$$' -run '^$$' -fuzztime 10s ./internal/serve/
+	$(GO) test -fuzz='^FuzzClusterWireFrame$$' -run '^$$' -fuzztime 10s ./internal/cluster/
+
+# Multi-process smoke (~8s): a dspsim coordinator plus two real predworker
+# processes over the TCP wire protocol, with remote control loops and
+# merged /metrics, shut down over the wire. See docs/CLUSTER.md.
+cluster-demo:
+	bash scripts/cluster_demo.sh
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -85,8 +85,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 	obsAddr := fs.String("obs", "", "serve the observability endpoints (/metrics /healthz /trace.json /trace/chrome /events /debug/pprof) on this address (e.g. :9090)")
 	traceSample := fs.Float64("trace-sample", 0, "fraction of anchored roots to trace (0 disables; chaos mode defaults to 0.05)")
 	traceBuf := fs.Int("trace-buf", 0, "trace ring capacity in spans (0 = default 4096)")
+	coordinator := fs.Bool("coordinator", false, "run as the fleet coordinator for predworker processes instead of an in-process engine (see docs/CLUSTER.md)")
+	listen := fs.String("listen", "127.0.0.1:7070", "coordinator listen address")
+	expect := fs.Int("expect", 0, "workers to wait for before starting the stats loop (0 = don't wait)")
+	joinWait := fs.Duration("join-wait", 30*time.Second, "how long to wait for the expected workers")
+	heartbeat := fs.Duration("heartbeat", 500*time.Millisecond, "coordinator: contracted worker heartbeat period")
+	deadAfter := fs.Duration("dead-after", 2*time.Second, "coordinator: heartbeat silence after which a worker is declared dead")
+	metricsEvery := fs.Duration("metrics-every", time.Second, "coordinator: contracted metric-snapshot period")
+	shutdownWorkers := fs.Bool("shutdown-workers", false, "coordinator: command all workers to exit when the duration elapses")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *coordinator {
+		return runCoordinator(coordinatorConfig{
+			listen: *listen, expect: *expect, joinWait: *joinWait,
+			duration: *duration, statsEvery: *statsEvery,
+			heartbeatEvery: *heartbeat, deadAfter: *deadAfter, metricsEvery: *metricsEvery,
+			control: *control, controlPeriod: *controlPeriod,
+			obsAddr: *obsAddr, shutdown: *shutdownWorkers,
+		}, stdout, stderr)
 	}
 
 	if *cpuprofile != "" {

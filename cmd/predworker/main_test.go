@@ -1,0 +1,85 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"predstream/internal/cluster"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing coordinator", []string{"-name", "w1"}, "-coordinator is required"},
+		{"missing name", []string{"-coordinator", "127.0.0.1:1"}, "-name is required"},
+		{"unknown app", []string{"-coordinator", "127.0.0.1:1", "-name", "w1", "-app", "nope"}, `unknown app "nope"`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := run(c.args, io.Discard, io.Discard)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("run(%v) = %v, want error containing %q", c.args, err, c.want)
+			}
+		})
+	}
+}
+
+// TestRunJoinsAndObeysShutdown drives the real binary path end to end in
+// process: a coordinator on a loopback port, run() with both app
+// topologies, shutdown over the wire, and the exit contract (ErrShutdown,
+// which main() maps to exit code 0).
+func TestRunJoinsAndObeysShutdown(t *testing.T) {
+	coord, err := cluster.NewCoordinator("127.0.0.1:0", cluster.CoordinatorConfig{
+		HeartbeatEvery: 20 * time.Millisecond,
+		DeadAfter:      200 * time.Millisecond,
+		MetricsEvery:   50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	done := make(chan error, 2)
+	var outs [2]strings.Builder
+	for i, app := range []string{"urlcount", "contquery"} {
+		i, app := i, app
+		go func() {
+			done <- run([]string{
+				"-coordinator", coord.Addr().String(), "-name", "t-" + app, "-app", app,
+			}, &outs[i], io.Discard)
+		}()
+	}
+	if err := coord.WaitForWorkers(2, 10*time.Second); err != nil {
+		t.Fatalf("workers never joined: %v", err)
+	}
+	for _, name := range []string{"t-urlcount", "t-contquery"} {
+		info, ok := coord.Worker(name)
+		if !ok {
+			t.Fatalf("worker %q not in membership", name)
+		}
+		if len(info.Controlled) == 0 {
+			t.Errorf("worker %q declared no controlled components; -dynamic should default on", name)
+		}
+	}
+	coord.ShutdownWorkers()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != cluster.ErrShutdown {
+				t.Fatalf("run() = %v, want ErrShutdown", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("run() did not return after wire shutdown")
+		}
+	}
+	for i := range outs {
+		if !strings.Contains(outs[i].String(), "shut down by coordinator") {
+			t.Errorf("worker %d output missing shutdown notice: %q", i, outs[i].String())
+		}
+	}
+}

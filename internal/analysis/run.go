@@ -32,6 +32,7 @@ var OwnedGoroutinePathSuffixes = []string{
 	"/internal/dsps",
 	"/internal/serve",
 	"/internal/obs",
+	"/internal/cluster",
 }
 
 // Config parameterizes one lint run.

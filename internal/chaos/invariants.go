@@ -124,6 +124,47 @@ func (ck *checker) quiescent(inFlight int, snap *dsps.Snapshot, spouts map[strin
 	}
 }
 
+// Quiesce clears every fault on the cluster, pauses its spouts, drains
+// it, and runs the quiescent-state invariants: acker quiescence (no root
+// still tracked), every queue empty, and exact tuple conservation (every
+// anchored spout emission acked or failed, no spout-side counters on
+// bolts). spoutComponents names the components whose emissions are
+// anchored roots. When resume is true, spout emission is re-enabled after
+// the check, so a live run can continue.
+//
+// This is the self-check a worker process runs when the coordinator sends
+// a check-invariants command across the wire: the same invariants the
+// in-process chaos runner asserts, evaluated inside the engine that owns
+// the tuples. A failed drain is itself reported as a violation.
+func Quiesce(c *dsps.Cluster, spoutComponents []string, drainTimeout time.Duration, resume bool) (drained bool, violations []Violation) {
+	if drainTimeout <= 0 {
+		drainTimeout = 2*c.Config().AckTimeout + time.Second
+	}
+	ck := newChecker(c.Config().QueueSize, 32)
+	spouts := make(map[string]bool, len(spoutComponents))
+	for _, sc := range spoutComponents {
+		spouts[sc] = true
+	}
+	for _, w := range c.WorkerIDs() {
+		c.ClearFault(w)
+	}
+	c.PauseSpouts()
+	drained = c.Drain(drainTimeout)
+	if !drained {
+		ck.violate("drain", "cluster failed to quiesce within %v of clearing all faults (in flight: %d)",
+			drainTimeout, c.InFlight())
+	}
+	snap := c.Snapshot()
+	ck.continuous(snap)
+	if drained {
+		ck.quiescent(c.InFlight(), snap, spouts)
+	}
+	if resume {
+		c.ResumeSpouts()
+	}
+	return drained, ck.violations
+}
+
 // plan asserts controller-plan sanity for one controlled edge: the split
 // ratios are a distribution (each finite and non-negative, summing to 1),
 // and any worker that has been continuously stalled for longer than the

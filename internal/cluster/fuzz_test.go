@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"bytes"
+
+	"testing"
+	"time"
+
+	"predstream/internal/dsps"
+)
+
+// FuzzClusterWireFrame feeds arbitrary bytes through the frame reader and
+// every per-type payload decoder. The property under test is memory
+// safety and total parsing: no panic, no unbounded allocation, and every
+// successfully decoded message re-encodes to bytes its decoder accepts
+// again (decode∘encode is the identity on the valid subset).
+func FuzzClusterWireFrame(f *testing.F) {
+	// Seed the corpus with one well-formed frame per message type, plus
+	// classic malformed shapes; committed seeds live in
+	// testdata/fuzz/FuzzClusterWireFrame.
+	frame := func(msgType uint8, payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, msgType, payload); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(frame(MsgHello, AppendHello(nil, Hello{
+		MinVersion: 1, MaxVersion: 1, Name: "w0", Topology: "urlcount",
+		QueueSize: 128, Spouts: []string{"urls"}, Controlled: []string{"count"},
+	})))
+	f.Add(frame(MsgWelcome, AppendWelcome(nil, Welcome{
+		Version: 1, WorkerID: "w1", Generation: 2,
+		HeartbeatEvery: 500 * time.Millisecond, DeadAfter: 2 * time.Second, MetricsEvery: time.Second,
+	})))
+	f.Add(frame(MsgReject, AppendReject(nil, Reject{Code: RejectVersion, Detail: "no common version"})))
+	f.Add(frame(MsgHeartbeat, AppendHeartbeat(nil, Heartbeat{Seq: 7, InFlight: 2})))
+	f.Add(frame(MsgMetrics, AppendSnapshot(nil, &dsps.Snapshot{
+		At:    time.Unix(1, 0),
+		Tasks: []dsps.TaskStats{{TaskID: 1, Topology: "t", Component: "c", WorkerID: "w", NodeID: "n"}},
+	})))
+	f.Add(frame(MsgCommand, AppendCommand(nil, Command{
+		ReqID: 9, Op: OpSetRatios, Component: "count", Ratios: []float64{0.5, 0.5},
+	})))
+	f.Add(frame(MsgResult, AppendResult(nil, Result{
+		ReqID: 9, Status: StatusError, Detail: "boom", Violations: []string{"v1"},
+	})))
+	f.Add(frame(MsgGoodbye, AppendGoodbye(nil, Goodbye{Reason: "done"})))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x01})             // oversize claim
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00})                   // zero body
+	f.Add([]byte{0x00, 0x00, 0x00, 0x03, 0x05, 0x00, 0x00}) // truncated metrics
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// A connection is a frame sequence: keep parsing until the stream
+		// errors, so multi-frame inputs exercise resynchronization too.
+		r := bytes.NewReader(data)
+		for {
+			msgType, payload, err := ReadFrame(r)
+			if err != nil {
+				return
+			}
+			fuzzDecode(t, msgType, payload)
+		}
+	})
+}
+
+// fuzzDecode routes one frame body to its decoder and asserts the
+// round-trip property on success.
+func fuzzDecode(t *testing.T, msgType uint8, payload []byte) {
+	switch msgType {
+	case MsgHello:
+		if h, err := DecodeHello(payload); err == nil {
+			if _, err := DecodeHello(AppendHello(nil, h)); err != nil {
+				t.Fatalf("re-decode hello: %v", err)
+			}
+		}
+	case MsgWelcome:
+		if w, err := DecodeWelcome(payload); err == nil {
+			if _, err := DecodeWelcome(AppendWelcome(nil, w)); err != nil {
+				t.Fatalf("re-decode welcome: %v", err)
+			}
+		}
+	case MsgReject:
+		if r, err := DecodeReject(payload); err == nil {
+			if _, err := DecodeReject(AppendReject(nil, r)); err != nil {
+				t.Fatalf("re-decode reject: %v", err)
+			}
+		}
+	case MsgHeartbeat:
+		if h, err := DecodeHeartbeat(payload); err == nil {
+			if _, err := DecodeHeartbeat(AppendHeartbeat(nil, h)); err != nil {
+				t.Fatalf("re-decode heartbeat: %v", err)
+			}
+		}
+	case MsgMetrics:
+		if s, err := DecodeSnapshot(payload); err == nil {
+			if _, err := DecodeSnapshot(AppendSnapshot(nil, s)); err != nil {
+				t.Fatalf("re-decode snapshot: %v", err)
+			}
+		}
+	case MsgCommand:
+		if c, err := DecodeCommand(payload); err == nil {
+			if _, err := DecodeCommand(AppendCommand(nil, c)); err != nil {
+				t.Fatalf("re-decode command: %v", err)
+			}
+		}
+	case MsgResult:
+		if r, err := DecodeResult(payload); err == nil {
+			if _, err := DecodeResult(AppendResult(nil, r)); err != nil {
+				t.Fatalf("re-decode result: %v", err)
+			}
+		}
+	case MsgGoodbye:
+		if g, err := DecodeGoodbye(payload); err == nil {
+			if _, err := DecodeGoodbye(AppendGoodbye(nil, g)); err != nil {
+				t.Fatalf("re-decode goodbye: %v", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"predstream/internal/dsps"
+)
+
+// buildEngine runs a tiny real topology so the snapshot under test has
+// populated histograms, worker aggregates, and acker state.
+func buildEngine(t *testing.T) *dsps.Cluster {
+	t.Helper()
+	b := dsps.NewTopologyBuilder("codec")
+	emitted := 0
+	var col dsps.SpoutCollector
+	b.SetSpout("src", func() dsps.Spout {
+		return &dsps.SpoutFunc{
+			OpenFn: func(_ dsps.TopologyContext, c dsps.SpoutCollector) { col = c },
+			NextFn: func() bool {
+				if emitted >= 200 {
+					return false
+				}
+				col.Emit(dsps.Values{emitted}, emitted)
+				emitted++
+				return true
+			},
+		}
+	}, 1, "n")
+	b.SetBolt("work", func() dsps.Bolt { return &dsps.BoltFunc{} }, 2).ShuffleGrouping("src")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dsps.NewCluster(dsps.ClusterConfig{Seed: 7, AckTimeout: 5 * time.Second})
+	if err := c.Submit(topo, dsps.SubmitConfig{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Drain(5 * time.Second) {
+		t.Fatal("engine did not drain")
+	}
+	return c
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := buildEngine(t)
+	defer c.Shutdown()
+	want := c.Snapshot()
+
+	got, err := DecodeSnapshot(AppendSnapshot(nil, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.At.Equal(want.At) {
+		t.Fatalf("At = %v want %v", got.At, want.At)
+	}
+	// Normalize the timestamps (UnixNano round trip loses the monotonic
+	// clock and wall-clock identity), then compare everything else.
+	got.At = time.Time{}
+	want.At = time.Time{}
+	if !reflect.DeepEqual(got.Tasks, want.Tasks) {
+		t.Fatalf("tasks:\n got %+v\nwant %+v", got.Tasks, want.Tasks)
+	}
+	if !reflect.DeepEqual(got.Workers, want.Workers) {
+		t.Fatalf("workers:\n got %+v\nwant %+v", got.Workers, want.Workers)
+	}
+	if !reflect.DeepEqual(got.Nodes, want.Nodes) {
+		t.Fatalf("nodes:\n got %+v\nwant %+v", got.Nodes, want.Nodes)
+	}
+	if !reflect.DeepEqual(got.Components, want.Components) {
+		t.Fatalf("components:\n got %+v\nwant %+v", got.Components, want.Components)
+	}
+	if !reflect.DeepEqual(got.Acker, want.Acker) {
+		t.Fatalf("acker:\n got %+v\nwant %+v", got.Acker, want.Acker)
+	}
+	if !reflect.DeepEqual(got.Scale, want.Scale) {
+		t.Fatalf("scale:\n got %+v\nwant %+v", got.Scale, want.Scale)
+	}
+}
+
+func TestSnapshotEmptyRoundTrip(t *testing.T) {
+	want := &dsps.Snapshot{At: time.Unix(42, 99)}
+	got, err := DecodeSnapshot(AppendSnapshot(nil, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.At.Equal(want.At) || len(got.Tasks) != 0 || len(got.Workers) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestSnapshotDecodeRejectsHugeCounts(t *testing.T) {
+	// atNs, then a task count far beyond the limit.
+	raw := appendI64(nil, 0)
+	raw = appendU32(raw, 1<<30)
+	if _, err := DecodeSnapshot(raw); err == nil {
+		t.Fatal("huge task count accepted")
+	}
+}
+
+func TestSnapshotDecodeRejectsTruncation(t *testing.T) {
+	c := buildEngine(t)
+	defer c.Shutdown()
+	raw := AppendSnapshot(nil, c.Snapshot())
+	// Every strict prefix must fail; none may panic.
+	for cut := 0; cut < len(raw); cut += 7 {
+		if _, err := DecodeSnapshot(raw[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -46,14 +46,42 @@ func (b DetectBasis) String() string {
 	}
 }
 
+// Engine is the slice of the stream engine's surface the controller
+// drives: observe (Snapshot), size planners (QueueSize), and actuate
+// parallelism (ScaleUp/ScaleDown). *dsps.Cluster satisfies it directly —
+// the local transport — and internal/cluster's RemoteEngine satisfies it
+// across the coordinator/worker wire protocol, so the same control loop
+// runs in-process and distributed.
+type Engine interface {
+	// Snapshot captures the engine's current metrics.
+	Snapshot() *dsps.Snapshot
+	// QueueSize is the per-executor input-queue bound (occupancy basis
+	// for the scale planner).
+	QueueSize() int
+	// ScaleUp adds n executors to a component.
+	ScaleUp(topology, component string, n int) error
+	// ScaleDown drains and removes n executors of a component.
+	ScaleDown(topology, component string, n int, drainTimeout time.Duration) error
+}
+
+// RatioActuator applies a dynamic-grouping ratio vector to one controlled
+// edge. *dsps.DynamicGrouping satisfies it directly; internal/cluster's
+// RemoteGrouping satisfies it by shipping the vector to a worker process.
+type RatioActuator interface {
+	// SetRatios installs the per-task split ratios (must sum to 1).
+	SetRatios(ratios []float64) error
+}
+
 // ControlTarget names one dynamic-grouping edge under control: tuples
 // flowing into Component are re-split via Grouping.
 type ControlTarget struct {
 	// Component is the downstream component whose input split is
 	// controlled.
 	Component string
-	// Grouping is the handle returned by BoltDeclarer.DynamicGrouping.
-	Grouping *dsps.DynamicGrouping
+	// Grouping is the actuator for the edge's split — the handle returned
+	// by BoltDeclarer.DynamicGrouping locally, or a RemoteGrouping when
+	// the edge lives in a worker process.
+	Grouping RatioActuator
 	// Topology names the topology hosting Component for parallelism
 	// actuation; when empty it is inferred from the snapshot (sufficient
 	// unless two running topologies share the component name).
@@ -165,10 +193,11 @@ type StepReport struct {
 	UsedModel bool
 }
 
-// Controller is the paper's control loop bound to one cluster.
+// Controller is the paper's control loop bound to one engine (a local
+// cluster or a remote worker engine reached over the wire).
 type Controller struct {
 	cfg     Config
-	cluster *dsps.Cluster
+	cluster Engine
 	targets []ControlTarget
 
 	mu         sync.Mutex
@@ -179,9 +208,9 @@ type Controller struct {
 	scalers    map[string]*ScalePlanner // per component, when cfg.Scale is set
 }
 
-// NewController builds a controller for the given cluster and control
+// NewController builds a controller for the given engine and control
 // targets.
-func NewController(cluster *dsps.Cluster, targets []ControlTarget, cfg Config) (*Controller, error) {
+func NewController(cluster Engine, targets []ControlTarget, cfg Config) (*Controller, error) {
 	if cluster == nil {
 		return nil, fmt.Errorf("core: nil cluster")
 	}
@@ -408,7 +437,7 @@ func (c *Controller) Step() (StepReport, error) {
 func (c *Controller) scaleSignals(snap *dsps.Snapshot, component string, taskWorkers []string, basis map[string]float64) ScaleSignals {
 	tasks := snap.ComponentTasks(component)
 	sig := ScaleSignals{Parallelism: len(tasks)}
-	if qs := c.cluster.Config().QueueSize; qs > 0 && len(tasks) > 0 {
+	if qs := c.cluster.QueueSize(); qs > 0 && len(tasks) > 0 {
 		var occ float64
 		for _, ts := range tasks {
 			occ += float64(ts.QueueLen) / float64(qs)

@@ -110,7 +110,7 @@ func TestControllerReactiveStepsApplyRatios(t *testing.T) {
 		t.Fatal("reactive controller claimed to use a model")
 	}
 	// The grouping handle actually carries the new ratios.
-	if targets[0].Grouping.Updates() == 0 {
+	if targets[0].Grouping.(*dsps.DynamicGrouping).Updates() == 0 {
 		t.Fatal("grouping never updated")
 	}
 }

@@ -190,6 +190,12 @@ func (c *Cluster) emit(level int, msg string, kv ...string) {
 // Config returns the effective (defaulted) cluster configuration.
 func (c *Cluster) Config() ClusterConfig { return c.cfg }
 
+// QueueSize returns the effective per-executor input-queue bound. It
+// exists so control planes that only see the engine through an interface
+// (local or remote transport) can read the one configuration value the
+// planners need without shipping the whole ClusterConfig across a wire.
+func (c *Cluster) QueueSize() int { return c.cfg.QueueSize }
+
 // NodeIDs returns the simulated machine ids.
 func (c *Cluster) NodeIDs() []string {
 	out := make([]string, len(c.nodes))

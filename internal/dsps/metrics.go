@@ -196,6 +196,15 @@ func (s ComponentStats) AvgExecLatency() time.Duration {
 	return s.ExecLatency / time.Duration(s.Executed)
 }
 
+// BuildComponentStats folds per-task stats into per-component aggregates,
+// exactly as Cluster.Snapshot does for its own tasks. It exists for
+// consumers that reassemble snapshots from shipped task stats — the
+// cluster wire protocol sends tasks and rebuilds the component aggregates
+// on the receiving side instead of paying for them twice on the wire.
+func BuildComponentStats(tasks []TaskStats) []ComponentStats {
+	return buildComponentStats(tasks)
+}
+
 // buildComponentStats folds per-task stats into per-component aggregates,
 // in first-appearance order (deterministic: tasks are snapshotted in
 // declaration-then-spawn order per topology).

@@ -54,10 +54,21 @@ func latencyHistData(counts []int64, sumSeconds float64) *HistogramData {
 	return h
 }
 
+// Snapshotter is any source of engine metric snapshots: *dsps.Cluster
+// (the local engine), or internal/cluster's Coordinator, whose merged
+// fleet snapshot carries every remote worker's shipped metrics. The
+// collector below is transport-agnostic — remote metrics appear on
+// /metrics through exactly the same families as local ones.
+type Snapshotter interface {
+	// Snapshot captures the current engine (or fleet) metrics.
+	Snapshot() *dsps.Snapshot
+}
+
 // NewClusterCollector returns a Collector exposing the engine's task,
-// worker, node, acker, and trace statistics from Cluster.Snapshot. See
+// worker, node, acker, and trace statistics from the source's Snapshot
+// (a local cluster or a coordinator's merged fleet view). See
 // docs/OBSERVABILITY.md for the full metric catalog.
-func NewClusterCollector(c *dsps.Cluster) Collector {
+func NewClusterCollector(c Snapshotter) Collector {
 	return CollectorFunc(func() []Family {
 		snap := c.Snapshot()
 
@@ -207,7 +218,14 @@ func NewClusterCollector(c *dsps.Cluster) Collector {
 			nodeBusy, nodeCores, nodeExecuted,
 			ackerInFlight, shardPending,
 		}
-		if tr := c.Trace(); tr != nil {
+		// Trace-ring families only exist for sources that own a trace ring
+		// (the local cluster); fleet snapshots assembled from shipped
+		// metrics have none.
+		var tr *dsps.Trace
+		if ts, ok := c.(interface{ Trace() *dsps.Trace }); ok {
+			tr = ts.Trace()
+		}
+		if tr != nil {
 			fams = append(fams,
 				Family{Name: "predstream_trace_spans_recorded_total", Help: "Trace spans appended to the ring since the last reset.",
 					Type: TypeCounter, Samples: []Sample{{Value: float64(tr.Recorded())}}},

@@ -45,14 +45,17 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (nn, dsps, ring, chaos, serve, analysis) =="
-go test -race ./internal/nn/... ./internal/dsps/... ./internal/ring/... ./internal/chaos/... ./internal/serve/... ./internal/analysis/...
+echo "== go test -race (nn, dsps, ring, chaos, serve, cluster, analysis) =="
+go test -race ./internal/nn/... ./internal/dsps/... ./internal/ring/... ./internal/chaos/... ./internal/serve/... ./internal/cluster/... ./internal/analysis/...
 
 echo "== bench smoke (1 iteration per benchmark) =="
 make bench-smoke
 
 echo "== chaos soak (short) =="
 make soak-short
+
+echo "== cluster demo (coordinator + 2 worker processes) =="
+make cluster-demo
 
 echo "== fuzz smoke (10s per target) =="
 go test -fuzz='^FuzzChaosSchedule$' -run '^$' -fuzztime 10s ./internal/chaos/
@@ -61,5 +64,6 @@ go test -fuzz='^FuzzHistogramQuantile$' -run '^$' -fuzztime 10s ./internal/dsps/
 go test -fuzz='^FuzzAckerTrees$' -run '^$' -fuzztime 10s ./internal/dsps/
 go test -fuzz='^FuzzRingBatchOps$' -run '^$' -fuzztime 10s ./internal/ring/
 go test -fuzz='^FuzzServeWireFrame$' -run '^$' -fuzztime 10s ./internal/serve/
+go test -fuzz='^FuzzClusterWireFrame$' -run '^$' -fuzztime 10s ./internal/cluster/
 
 echo "CI OK"

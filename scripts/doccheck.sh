@@ -28,7 +28,7 @@ while IFS= read -r md; do
 done < <(git ls-files '*.md')
 
 echo "doccheck: required pages"
-for required in DESIGN.md docs/DIRECTIVES.md docs/OBSERVABILITY.md; do
+for required in DESIGN.md docs/DIRECTIVES.md docs/OBSERVABILITY.md docs/WIRE_PROTOCOL.md docs/CLUSTER.md; do
   if [ ! -f "$required" ]; then
     echo "doccheck: required page missing: $required" >&2
     fail=1
@@ -37,7 +37,7 @@ done
 
 echo "doccheck: exported symbols"
 if ! go run ./scripts/doccheck \
-  ./internal/dsps ./internal/telemetry ./internal/chaos ./internal/obs ./internal/serve; then
+  ./internal/dsps ./internal/telemetry ./internal/chaos ./internal/obs ./internal/serve ./internal/cluster; then
   fail=1
 fi
 
